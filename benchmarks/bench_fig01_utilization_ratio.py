@@ -1,0 +1,24 @@
+"""Figure 1: CDF of the 90th/10th percentile link-utilisation ratio.
+
+Paper shape: the ratio exceeds 5x for more than 10% of links while
+staying below 2x for roughly 70% — i.e. most links are steady but a
+sizeable tail varies enough that static prices cannot fit both.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure1
+
+
+def bench_figure1(benchmark, record):
+    data = run_once(benchmark, figure1, seed=0)
+    print("\nFigure 1 — 90th/10th percentile utilisation ratio CDF")
+    print(f"  links with ratio > 5x : {data['fraction_above_5x']:.2f} "
+          "(paper: > 0.10)")
+    print(f"  links with ratio < 2x : {data['fraction_below_2x']:.2f} "
+          "(paper: ~ 0.70)")
+    record({"fraction_above_5x": data["fraction_above_5x"],
+            "fraction_below_2x": data["fraction_below_2x"],
+            "ratios": data["ratios"], "cdf": data["cdf"]})
+    assert data["fraction_above_5x"] > 0.02
+    assert data["fraction_below_2x"] > 0.4

@@ -1,0 +1,24 @@
+"""Figure 2: the 4-node pricing example.
+
+Paper shape: value-blind scheduling gets welfare 23; progressively richer
+price structures improve it; per-(link, timestep) prices reach the
+maximum of 34.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_table
+from repro.experiments.figures import figure2
+
+
+def bench_figure2(benchmark, record):
+    data = run_once(benchmark, figure2)
+    rows = [[row.scheme, row.prices] +
+            [f"{row.units[rid]:.1f}" for rid in (1, 2, 3, 4)] +
+            [f"{row.welfare:.0f}"] for row in data["rows"]]
+    print("\nFigure 2 — pricing example")
+    print(format_table(["scheme", "prices", "R1", "R2", "R3", "R4",
+                        "welfare"], rows))
+    record({"welfare": data["welfare"]})
+    assert data["welfare"]["no-price"] == 23.0
+    assert data["welfare"]["pretium"] == 34.0

@@ -1,0 +1,21 @@
+"""Figure 4: sample price menus for two deadlines.
+
+Paper shape: the request with the shorter deadline faces a (weakly)
+higher menu and a smaller guarantee bound x-bar.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure4
+
+
+def bench_figure4(benchmark, record):
+    data = run_once(benchmark, figure4, seed=0)
+    print("\nFigure 4 — price menus (cumulative volume, marginal price)")
+    for label in ("tight", "loose"):
+        menu = data[label]
+        head = ", ".join(f"({q:.0f}, {p:.3f})"
+                         for q, p in menu["breakpoints"][:5])
+        print(f"  {label:6s}: x_bar={menu['x_bar']:9.1f}  {head}")
+    record(data)
+    assert data["loose"]["x_bar"] >= data["tight"]["x_bar"] - 1e-9

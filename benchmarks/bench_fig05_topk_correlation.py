@@ -1,0 +1,24 @@
+"""Figure 5: top-10% mean (z_e) vs 95th percentile (y_e) correlation.
+
+Paper shape: across normal, exponential and pareto link traffic the two
+measures are linearly correlated with a small absolute gap, justifying
+the top-k proxy for percentile costs.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_table
+from repro.experiments.figures import figure5
+
+
+def bench_figure5(benchmark, record):
+    data = run_once(benchmark, figure5, seed=0)
+    rows = [[name, stats["slope"], stats["intercept"], stats["r"],
+             stats["r_squared"]] for name, stats in data.items()]
+    print("\nFigure 5 — z_e vs y_e linear fits")
+    print(format_table(["distribution", "slope", "intercept", "r", "r^2"],
+                       rows))
+    record({name: {k: v for k, v in stats.items() if k != "points"}
+            for name, stats in data.items()})
+    for stats in data.values():
+        assert stats["r"] > 0.85

@@ -1,0 +1,28 @@
+"""Figure 6: welfare relative to OPT across load factors.
+
+Paper shape: Pretium stays above ~60% of OPT and above every baseline;
+the fixed-price oracles sit well below it; the value-blind NoPrices TE
+does worst (negative in the paper's cost regime).
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_series
+from repro.experiments.figures import figure6
+
+
+def bench_figure6(benchmark, record):
+    data = run_once(benchmark, figure6, seed=0)
+    print("\n" + format_series("Figure 6 — welfare relative to OPT",
+                               data["load_factors"], data["welfare_rel"],
+                               x_label="load"))
+    record(data)
+    welfare = data["welfare_rel"]
+    for i in range(len(data["load_factors"])):
+        # Pretium beats every baseline at every load factor ...
+        for name in ("NoPrices", "RegionOracle", "PeakOracle", "VCGLike"):
+            assert welfare["Pretium"][i] > welfare[name][i] - 0.02, \
+                f"{name} at load {data['load_factors'][i]}"
+        # ... and NoPrices trails the price-based schemes.
+        assert welfare["NoPrices"][i] < welfare["Pretium"][i]
+    assert min(welfare["Pretium"]) > 0.5

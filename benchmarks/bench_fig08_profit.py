@@ -1,0 +1,27 @@
+"""Figure 8: provider profit relative to RegionOracle.
+
+Paper shape: Pretium collects a multiple of RegionOracle's profit, with
+the widest gap at low load (RegionOracle overprices and under-utilises).
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_series
+from repro.experiments.figures import figure8
+
+
+def bench_figure8(benchmark, record):
+    data = run_once(benchmark, figure8, seed=0)
+    print("\n" + format_series(
+        "Figure 8 — absolute profit per scheme",
+        data["load_factors"], data["profit_abs"], x_label="load"))
+    print(format_series(
+        "Figure 8 — profit relative to RegionOracle",
+        data["load_factors"], data["profit_rel"], x_label="load"))
+    record(data)
+    profits = data["profit_abs"]
+    for i in range(len(data["load_factors"])):
+        # Pretium's profit dominates every baseline at every load.
+        for name in ("NoPrices", "RegionOracle", "PeakOracle", "VCGLike"):
+            assert profits["Pretium"][i] >= profits[name][i] - 1e-6, \
+                f"{name} at load {data['load_factors'][i]}"

@@ -1,0 +1,26 @@
+"""Figure 9: fraction of requests that finish, per scheme.
+
+Paper shape: Pretium completes more requests than the pricing baselines
+because it plans into the future and shifts lax-deadline traffic to
+quiet periods — and it is the only scheme giving a priori guarantees.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_series
+from repro.experiments.figures import figure9
+
+
+def bench_figure9(benchmark, record):
+    data = run_once(benchmark, figure9, seed=0)
+    print("\n" + format_series("Figure 9 — completion fraction",
+                               data["load_factors"], data["completion"],
+                               x_label="load"))
+    record(data)
+    completion = data["completion"]
+    # Pretium completes at least as much as the fixed-price oracles on
+    # average across loads.
+    loads = range(len(data["load_factors"]))
+    pretium_mean = sum(completion["Pretium"][i] for i in loads)
+    region_mean = sum(completion["RegionOracle"][i] for i in loads)
+    assert pretium_mean > region_mean - 0.05 * len(data["load_factors"])

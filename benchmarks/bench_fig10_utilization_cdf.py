@@ -1,0 +1,29 @@
+"""Figure 10: CDF of 90th-percentile link utilisation, per scheme.
+
+Paper shape: Pretium's schedule adjustment shaves utilisation peaks —
+the median link's 90th-percentile utilisation drops ~30% vs RegionOracle.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_table
+from repro.experiments.figures import figure10
+
+
+def bench_figure10(benchmark, record):
+    data = run_once(benchmark, figure10, seed=0, load_factor=2.0)
+    rows = [[name, stats["median"], stats["median_peak_to_mean"],
+             stats["delivered"]] for name, stats in data.items()]
+    print("\nFigure 10 — link utilisation spikes per scheme")
+    print(format_table(["scheme", "median p90 util",
+                        "median peak/mean", "delivered"], rows))
+    record({name: {"median": stats["median"],
+                   "median_peak_to_mean": stats["median_peak_to_mean"],
+                   "delivered": stats["delivered"]}
+            for name, stats in data.items()})
+    # Pretium's schedules stay flat (volume-neutral spike measure): the
+    # median carried link's peak never exceeds a small multiple of its
+    # mean, and is in the same band as the cost-levelled NoPrices LP.
+    assert data["Pretium"]["median_peak_to_mean"] <= \
+        data["NoPrices"]["median_peak_to_mean"] + 1.0
+    assert data["Pretium"]["median_peak_to_mean"] < 6.0

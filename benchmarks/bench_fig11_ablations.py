@@ -1,0 +1,25 @@
+"""Figure 11: Pretium ablations.
+
+Paper shape: removing the price menu (all-or-nothing contracts) costs
+1.3-2x in welfare; removing the schedule adjuster costs ~3x.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_series
+from repro.experiments.figures import figure11
+
+
+def bench_figure11(benchmark, record):
+    data = run_once(benchmark, figure11, seed=0)
+    print("\n" + format_series("Figure 11 — ablations, welfare rel. OPT",
+                               data["load_factors"], data["welfare_rel"],
+                               x_label="load"))
+    record(data)
+    welfare = data["welfare_rel"]
+    loads = range(len(data["load_factors"]))
+    pretium = sum(welfare["Pretium"][i] for i in loads)
+    nomenu = sum(welfare["Pretium-NoMenu"][i] for i in loads)
+    nosam = sum(welfare["Pretium-NoSAM"][i] for i in loads)
+    assert pretium > nomenu
+    assert pretium > nosam

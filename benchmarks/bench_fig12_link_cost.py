@@ -1,0 +1,25 @@
+"""Figure 12: sensitivity to mean link cost (2x sweep at load 1).
+
+Paper shape: both Pretium and RegionOracle lose welfare as metered costs
+rise, but RegionOracle falls much faster — it compensates with one big
+price hike everywhere, while Pretium raises prices only on the links
+that actually got more expensive.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_series
+from repro.experiments.figures import figure12
+
+
+def bench_figure12(benchmark, record):
+    data = run_once(benchmark, figure12, seed=0)
+    print("\n" + format_series(
+        "Figure 12 — welfare rel. OPT vs mean link cost",
+        data["cost_factors"], data["welfare_rel"], x_label="cost x"))
+    record(data)
+    pretium = data["welfare_rel"]["Pretium"]
+    region = data["welfare_rel"]["RegionOracle"]
+    # Pretium's decline from cheapest to costliest is no worse than
+    # RegionOracle's.
+    assert (pretium[0] - pretium[-1]) <= (region[0] - region[-1]) + 0.1

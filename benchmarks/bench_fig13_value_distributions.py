@@ -1,0 +1,25 @@
+"""Figure 13: welfare across request value distributions (load 1).
+
+Paper shape: welfare varies with the distribution, but Pretium
+consistently outperforms RegionOracle for both pareto and normal values
+at every mean/stddev ratio.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_table
+from repro.experiments.figures import figure13
+
+
+def bench_figure13(benchmark, record):
+    data = run_once(benchmark, figure13, seed=0)
+    rows = [[row["family"], row["mu_over_sigma"],
+             row["pretium_welfare_rel"], row["region_welfare_rel"]]
+            for row in data["rows"]]
+    print("\nFigure 13 — welfare rel. OPT by value distribution")
+    print(format_table(["family", "mu/sigma", "Pretium", "RegionOracle"],
+                       rows))
+    record(data)
+    wins = sum(1 for row in data["rows"]
+               if row["pretium_welfare_rel"] > row["region_welfare_rel"])
+    assert wins >= len(data["rows"]) - 1

@@ -1,0 +1,23 @@
+"""Figure 14: profit relative to RegionOracle across value distributions.
+
+Paper shape: Pretium's profit advantage over RegionOracle persists for
+every distribution family and mean/stddev ratio tested.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_table
+from repro.experiments.figures import figure14
+
+
+def bench_figure14(benchmark, record):
+    data = run_once(benchmark, figure14, seed=0)
+    rows = [[row["family"], row["mu_over_sigma"],
+             row["pretium_profit_rel_region"]] for row in data["rows"]]
+    print("\nFigure 14 — Pretium profit relative to RegionOracle")
+    print(format_table(["family", "mu/sigma", "profit rel Region"], rows))
+    record(data)
+    # Pretium's profit should at least be competitive in most cases.
+    competitive = sum(1 for row in data["rows"]
+                      if row["pretium_profit_rel_region"] > 0.5)
+    assert competitive >= len(data["rows"]) // 2

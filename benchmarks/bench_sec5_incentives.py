@@ -1,0 +1,26 @@
+"""Section 5 / Claim 1: strategic deviations rarely pay.
+
+Paper numbers: fewer than 26% of admitted requests could gain by
+misreporting (even with omniscient knowledge), and the average gain
+conditional on benefiting was below 6%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import deviation_study, quick_scenario
+
+
+def bench_incentives(benchmark, record):
+    workload = quick_scenario(load_factor=2.0, seed=0).workload
+    report = run_once(benchmark, deviation_study, workload, n_samples=10,
+                      seed=0)
+    print(f"\nSection 5 — deviation study over {report.n_requests} "
+          f"sampled requests x {len(report.outcomes)} trials")
+    print(f"  fraction able to benefit : {report.fraction_benefiting:.2f} "
+          "(paper: < 0.26)")
+    print(f"  mean relative gain       : {report.mean_relative_gain:.3f} "
+          "(paper: < 0.06)")
+    record({"fraction_benefiting": report.fraction_benefiting,
+            "mean_relative_gain": report.mean_relative_gain,
+            "trials": len(report.outcomes)})
+    assert report.fraction_benefiting <= 0.5

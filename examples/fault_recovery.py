@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fault recovery: the schedule adjuster reroutes around a failed link.
+
+The paper (§4.4) argues the SAM module makes Pretium robust to network
+faults: when a link dies, outstanding guarantees are re-spread across
+other paths and future timesteps.  This example admits contracts over a
+two-path network, kills the primary path mid-run, and shows that
+delivery still completes — then repeats the run with SAM disabled
+(Pretium-NoSAM) to show the guarantee being lost.
+
+Run:  python examples/fault_recovery.py
+"""
+
+import numpy as np
+
+from repro.core import ByteRequest, PretiumConfig, PretiumController
+from repro.network import parallel_paths_network
+from repro.traffic import Workload
+
+
+def run(sam_enabled: bool) -> None:
+    topology = parallel_paths_network(10.0, 10.0)
+    requests = [ByteRequest(0, "S", "T", 30.0, 0, 0, 4, 5.0),
+                ByteRequest(1, "S", "T", 10.0, 1, 1, 4, 2.0)]
+    workload = Workload(topology, requests, n_steps=5, steps_per_day=5)
+
+    config = PretiumConfig(window=5, lookback=5, initial_price=0.05,
+                           sam_enabled=sam_enabled)
+    controller = PretiumController(config)
+    controller.begin(workload)
+
+    loads = np.zeros((workload.n_steps, topology.num_links))
+    delivered: dict[int, float] = {}
+    top = topology.link_between("S", "M1").index
+
+    for t in range(workload.n_steps):
+        controller.window_start(t)
+        for request in workload.requests:
+            if request.arrival == t:
+                contract = controller.arrival(request, t)
+                if contract:
+                    print(f"  t={t}: admitted R{request.rid} "
+                          f"guarantee={contract.guaranteed:.1f} "
+                          f"price={contract.menu.price(contract.chosen):.2f}")
+        if t == 1:
+            print("  t=1: !! link S->M1 fails for the rest of the run")
+            controller.state.fail_link("S", "M1", start=1)
+        for tx in controller.step(t, delivered, loads):
+            for index in tx.links:
+                loads[t, index] += tx.volume
+            delivered[tx.rid] = delivered.get(tx.rid, 0.0) + tx.volume
+
+    for request in workload.requests:
+        got = delivered.get(request.rid, 0.0)
+        status = "OK" if got >= request.demand - 1e-6 else "SHORT"
+        print(f"  R{request.rid}: delivered {got:.1f} / {request.demand:.1f} "
+              f"[{status}]")
+    print(f"  volume on failed path after t=0: {loads[1:, top].sum():.2f}")
+
+
+def main() -> None:
+    print("With schedule adjustment (full Pretium):")
+    run(sam_enabled=True)
+    print("\nWithout schedule adjustment (Pretium-NoSAM ablation):")
+    run(sam_enabled=False)
+    print("\nSAM replans around the fault; the NoSAM variant keeps "
+          "executing its\nadmission-time plan into a dead link and misses "
+          "its guarantee.")
+
+
+if __name__ == "__main__":
+    main()

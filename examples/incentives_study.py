@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Strategic-deviation study (paper §5, Theorem 5.1 / Claim 1).
+
+Samples admitted requests from a live workload, replays the whole
+simulation with each request lying about its parameters (later/earlier
+deadline, splitting, demand inflation), and measures whether the lie paid
+off.  The paper reports fewer than 26% of requests can benefit at all,
+with average gains below 6%.
+
+Run:  python examples/incentives_study.py  [--samples 8] [--seed 0]
+"""
+
+import argparse
+from collections import defaultdict
+
+from repro.experiments import (deviation_study, format_table,
+                               quick_scenario)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    workload = quick_scenario(load_factor=2.0, seed=args.seed).workload
+    print(f"replaying {workload.n_requests}-request workload with "
+          f"{args.samples} sampled deviators...\n")
+    report = deviation_study(workload, n_samples=args.samples,
+                             seed=args.seed)
+
+    by_deviation = defaultdict(lambda: [0, 0, 0.0])
+    for outcome in report.outcomes:
+        stats = by_deviation[outcome.deviation]
+        stats[0] += 1
+        if outcome.beneficial:
+            stats[1] += 1
+            stats[2] += outcome.gain
+    rows = [[name, trials, wins, f"{total_gain:.3f}"]
+            for name, (trials, wins, total_gain)
+            in sorted(by_deviation.items())]
+    print(format_table(["deviation", "trials", "profitable", "total gain"],
+                       rows))
+
+    print(f"\nfraction of requests able to benefit: "
+          f"{report.fraction_benefiting:.2f}   (paper: < 0.26)")
+    print(f"mean relative gain when beneficial:   "
+          f"{report.mean_relative_gain:.3f}  (paper: < 0.06)")
+    print("\nTruth-telling is an excellent strategy: menus are built from "
+          "minimum-price\nroutes, so narrowing a window or splitting a "
+          "request can only raise prices\n(Theorem 5.1).")
+
+
+if __name__ == "__main__":
+    main()

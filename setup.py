@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments that lack the ``wheel`` package (pip falls back to the legacy
+``setup.py develop`` path with ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

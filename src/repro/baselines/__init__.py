@@ -1,0 +1,18 @@
+"""Evaluation baselines (paper §6.1) and Pretium ablations (Figure 11)."""
+
+from .ablations import PretiumNoMenu, PretiumNoSAM
+from .base import (OfflineScheme, ScheduleItem, run_result,
+                   solve_offline_schedule, value_grid)
+from .noprices import NoPrices
+from .offline_opt import OfflineOptimal
+from .peak_oracle import PeakOracle, offered_demand_profile, \
+    peak_steps_of_day
+from .region_oracle import RegionOracle
+from .vcg_like import VCGLike
+
+__all__ = [
+    "NoPrices", "OfflineOptimal", "OfflineScheme", "PeakOracle",
+    "PretiumNoMenu", "PretiumNoSAM", "RegionOracle", "ScheduleItem",
+    "VCGLike", "offered_demand_profile", "peak_steps_of_day", "run_result",
+    "solve_offline_schedule", "value_grid",
+]

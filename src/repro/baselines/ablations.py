@@ -1,0 +1,47 @@
+"""Pretium ablations (paper Figure 11).
+
+- **Pretium-NoMenu**: no price menu; each request is offered its full
+  demand at the quoted price and must take it or leave it.
+- **Pretium-NoSAM**: the schedule adjustment module is skipped; the
+  preliminary (admission-time) plan is executed verbatim, so neither
+  rerouting nor cost-aware reoptimisation happens.
+
+Both are plain configuration of :class:`~repro.core.PretiumController`
+(same code paths as the full system), constructed here so experiments can
+refer to them by name.
+"""
+
+from __future__ import annotations
+
+from ..core import PretiumConfig, PretiumController
+
+
+def _derived_config(workload, **overrides) -> PretiumConfig:
+    window = workload.steps_per_day
+    base = dict(window=window, lookback=window + window // 2)
+    base.update(overrides)
+    return PretiumConfig(**base)
+
+
+class PretiumNoMenu(PretiumController):
+    """Pretium without price menus: all-or-nothing contracts."""
+
+    name = "Pretium-NoMenu"
+
+    def begin(self, workload) -> None:
+        if self._config_template is None:
+            self._config_template = _derived_config(workload,
+                                                    menu_enabled=False)
+        super().begin(workload)
+
+
+class PretiumNoSAM(PretiumController):
+    """Pretium without schedule adjustment: preliminary plans only."""
+
+    name = "Pretium-NoSAM"
+
+    def begin(self, workload) -> None:
+        if self._config_template is None:
+            self._config_template = _derived_config(workload,
+                                                    sam_enabled=False)
+        super().begin(workload)

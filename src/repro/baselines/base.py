@@ -1,0 +1,228 @@
+"""Shared machinery for the offline baselines (paper §6.1).
+
+All offline schemes reduce to one LP shape: route a set of requests, each
+with a per-request volume cap and a per-unit objective weight, over the
+whole horizon, subtracting the top-k percentile cost proxy.  The weights
+differ (true values for OPT, 1 for NoPrices/oracles), as do the caps and
+the per-(request, timestep) availability masks (PeakOracle restricts a
+request to the steps it is willing to pay for).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.request import ByteRequest
+from ..lp import Model, add_sum_topk, quicksum
+from ..network import PathCache
+from ..sim.engine import RunResult
+from ..traffic.workload import Workload
+
+EPS = 1e-9
+
+
+@dataclass
+class ScheduleItem:
+    """One request as the offline scheduler sees it.
+
+    ``weight`` is the per-unit objective coefficient; ``cap`` the maximum
+    volume to route; ``allowed_steps`` optionally restricts the timesteps
+    (``None`` = the request's full window).
+    """
+
+    request: ByteRequest
+    weight: float
+    cap: float
+    allowed_steps: Optional[set[int]] = None
+
+
+@dataclass
+class OfflineSchedule:
+    """Solution of the offline scheduling LP."""
+
+    loads: np.ndarray                      # (n_steps, n_links)
+    delivered: dict[int, float]            # rid -> volume
+    per_step: dict[int, np.ndarray]        # rid -> volume per timestep
+    objective: float
+
+
+def solve_offline_schedule(workload: Workload, items: list[ScheduleItem],
+                           route_count: int = 3,
+                           topk_fraction: float = 0.1,
+                           topk_encoding: str = "cvar",
+                           include_costs: bool = True,
+                           objective: str = "weighted",
+                           paths: PathCache | None = None
+                           ) -> OfflineSchedule:
+    """Solve the offline routing LP over the full horizon.
+
+    With ``objective="weighted"`` (OPT's semantics):
+
+        maximise  sum_i weight_i * X_irt  -  sum_{e,w} (C_e / k) * topk_e,w
+
+    With ``objective="bytes_then_cost"`` (the TE-baseline semantics:
+    admitted transfers are *obligations*): first maximise the weighted
+    volume ignoring costs, then — holding that volume optimal — minimise
+    the percentile cost proxy.  This is how a deadline-TE scheduler that
+    must serve what it admitted behaves; it cannot trade a customer's
+    bytes away to save cost.
+
+    Both are subject to per-request caps and per-(link, timestep)
+    capacities.
+    """
+    if objective not in ("weighted", "bytes_then_cost"):
+        raise ValueError(f"unknown objective {objective!r}")
+    topology = workload.topology
+    n_steps = workload.n_steps
+    paths = paths or PathCache(topology, k=route_count)
+    model = Model(sense="max", name="offline-schedule")
+
+    by_link_step: dict[tuple[int, int], list] = {}
+    per_request_vars: dict[int, list[tuple[int, object]]] = {}
+    value_terms = []
+    for item in items:
+        request = item.request
+        if item.cap <= EPS:
+            continue
+        routes = paths.routes(request.src, request.dst)
+        flows = []
+        for path in routes:
+            for t in range(request.start, min(request.deadline + 1, n_steps)):
+                if item.allowed_steps is not None and \
+                        t not in item.allowed_steps:
+                    continue
+                var = model.add_variable(f"x[{request.rid}]", lb=0.0)
+                flows.append(var)
+                per_request_vars.setdefault(request.rid, []).append((t, var))
+                for index in path.link_indices():
+                    by_link_step.setdefault((index, t), []).append(var)
+                if item.weight:
+                    value_terms.append(item.weight * var)
+        if flows:
+            model.add_constraint(quicksum(flows) <= item.cap,
+                                 name=f"cap[{request.rid}]")
+
+    capacities = np.array([link.capacity for link in topology.links])
+    for (index, t), variables in by_link_step.items():
+        model.add_constraint(quicksum(variables) <= float(capacities[index]),
+                             name=f"edge[{index},{t}]")
+
+    value_expr = quicksum(value_terms) if value_terms else None
+
+    cost_terms = []
+    if include_costs:
+        billing = workload.steps_per_day
+        for link in topology.metered_links():
+            steps = sorted(t for (index, t) in by_link_step
+                           if index == link.index)
+            if not steps:
+                continue
+            window_starts = sorted({(t // billing) * billing for t in steps})
+            for window_start in window_starts:
+                window_end = min(window_start + billing, n_steps)
+                length = window_end - window_start
+                k = max(1, int(round(topk_fraction * length)))
+                loads = []
+                for t in range(window_start, window_end):
+                    flows = by_link_step.get((link.index, t))
+                    if flows:
+                        load = model.add_variable(
+                            f"load[{link.index},{t}]", lb=0.0)
+                        model.add_constraint(load == quicksum(flows))
+                        loads.append(load)
+                    else:
+                        loads.append(model.add_variable(
+                            f"zero[{link.index},{t}]", lb=0.0, ub=0.0))
+                bound = add_sum_topk(model, loads, k,
+                                     name=f"z[{link.index},{window_start}]",
+                                     encoding=topk_encoding)
+                cost_terms.append((link.cost_per_unit / k) * bound)
+
+    if value_expr is None and not cost_terms:
+        return OfflineSchedule(np.zeros((n_steps, topology.num_links)), {},
+                               {}, 0.0)
+
+    if objective == "weighted" or value_expr is None or not cost_terms:
+        model.set_objective((value_expr - quicksum(cost_terms))
+                            if cost_terms else value_expr)
+    else:
+        # Lexicographic big-M: volume strictly dominates cost as long as
+        # M exceeds the largest possible marginal cost of one unit (a
+        # full path of metered links at their top-k steps).  One solve
+        # instead of a (degenerate, slow) two-stage formulation.
+        # A unit crosses at most a handful of metered links, each with
+        # marginal proxy cost at most C_e (k >= 1).
+        max_unit_cost = sum(sorted(
+            (link.cost_per_unit for link in topology.metered_links()),
+            reverse=True)[:4])
+        priority = 10.0 * max(1.0, max_unit_cost)
+        model.set_objective(priority * value_expr - quicksum(cost_terms))
+    solution = model.solve()
+
+    loads = np.zeros((n_steps, topology.num_links))
+    delivered: dict[int, float] = {}
+    per_step: dict[int, np.ndarray] = {}
+    for item in items:
+        rid = item.request.rid
+        entries = per_request_vars.get(rid, [])
+        if not entries:
+            continue
+        series = np.zeros(n_steps)
+        for t, var in entries:
+            series[t] += solution.value(var)
+        if series.sum() > EPS:
+            delivered[rid] = float(series.sum())
+            per_step[rid] = series
+    for (index, t), variables in by_link_step.items():
+        loads[t, index] = sum(solution.value(v) for v in variables)
+
+    return OfflineSchedule(loads=loads, delivered=delivered,
+                           per_step=per_step,
+                           objective=float(solution.objective))
+
+
+class OfflineScheme(ABC):
+    """An evaluation scheme that computes its whole run in one shot."""
+
+    name: str = "offline"
+
+    @abstractmethod
+    def run(self, workload: Workload) -> RunResult:
+        """Produce a complete :class:`RunResult` for the workload."""
+
+
+def run_result(workload: Workload, name: str, schedule: OfflineSchedule,
+               payments: dict[int, float] | None = None,
+               chosen: dict[int, float] | None = None,
+               extras: dict | None = None) -> RunResult:
+    """Package an offline schedule in the engine's result format."""
+    delivery_log = {
+        rid: [(t, float(volume)) for t, volume in enumerate(series)
+              if volume > EPS]
+        for rid, series in schedule.per_step.items()}
+    return RunResult(workload=workload, scheme_name=name,
+                     loads=schedule.loads, delivered=dict(schedule.delivered),
+                     payments=payments or {},
+                     chosen=chosen if chosen is not None
+                     else dict(schedule.delivered),
+                     extras=extras or {}, delivery_log=delivery_log)
+
+
+def value_grid(requests, n_points: int = 6) -> list[float]:
+    """Candidate prices for the oracle grids: value quantiles.
+
+    The optimal fixed price is always at (just below) some request's
+    value, so quantiles of the value distribution cover the search space.
+    """
+    values = sorted(r.value for r in requests)
+    if not values:
+        return [0.0]
+    if n_points <= 1:
+        return [values[len(values) // 2]]
+    quantiles = np.linspace(0.0, 1.0, n_points)
+    grid = sorted({float(np.quantile(values, q)) for q in quantiles})
+    return grid

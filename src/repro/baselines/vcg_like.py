@@ -1,0 +1,149 @@
+"""VCG-like spot market (paper §6.1 baseline 5).
+
+Models a demand-driven spot market: customers submit bids equal to their
+values; at every timestep each unfinished byte request is converted into
+a rate request ``r_i = remaining / steps-to-deadline``, the provider
+solves a per-step allocation maximising declared welfare
+``sum_i b_i x_i`` (ignoring operating costs), and each served customer is
+charged their VCG payment — the externality they impose on the others,
+computed by re-solving the step's allocation without them.
+
+As the paper notes, the scheme is myopic (per-step), ignores provider
+costs, and is not truthful across steps; it serves as the auction-flavoured
+point of comparison for Pretium's pricing approach.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..lp import Model, quicksum
+from ..network import PathCache
+from ..sim.engine import RunResult
+from ..traffic.workload import Workload
+from .base import EPS, OfflineScheme, run_result
+
+
+class VCGLike(OfflineScheme):
+    """Per-timestep spot market with VCG payments."""
+
+    name = "VCGLike"
+
+    def __init__(self, route_count: int = 3) -> None:
+        self.route_count = route_count
+
+    def run(self, workload: Workload) -> RunResult:
+        topology = workload.topology
+        paths = PathCache(topology, k=self.route_count)
+        capacities = np.array([link.capacity for link in topology.links])
+        loads = np.zeros((workload.n_steps, topology.num_links))
+        delivered: dict[int, float] = defaultdict(float)
+        payments: dict[int, float] = defaultdict(float)
+
+        for t in range(workload.n_steps):
+            active = [r for r in workload.requests
+                      if r.arrival <= t <= r.deadline
+                      and delivered[r.rid] < r.demand - EPS]
+            if not active:
+                continue
+            rates = {r.rid: (r.demand - delivered[r.rid])
+                     / (r.deadline - t + 1) for r in active}
+            allocation, welfare_all, link_duals = self._step_allocation(
+                active, rates, paths, capacities)
+            for rid, (volume, link_use) in allocation.items():
+                if volume <= EPS:
+                    continue
+                delivered[rid] += volume
+                for index, used in link_use.items():
+                    loads[t, index] += used
+
+            # VCG payment: welfare of others without i minus with i.  A
+            # winner whose links all have zero congestion duals displaces
+            # nobody (removing it cannot help the others), so the
+            # externality is zero and the re-solve can be skipped.
+            winners = [r for r in active
+                       if allocation.get(r.rid, (0.0, {}))[0] > EPS]
+            for request in winners:
+                used_links = allocation[request.rid][1]
+                if all(link_duals.get(index, 0.0) <= EPS
+                       for index in used_links):
+                    continue
+                others = [r for r in active if r.rid != request.rid]
+                if others:
+                    _, welfare_without, _ = self._step_allocation(
+                        others, rates, paths, capacities)
+                else:
+                    welfare_without = 0.0
+                welfare_others_with = welfare_all - request.value * \
+                    allocation[request.rid][0]
+                payments[request.rid] += max(
+                    0.0, welfare_without - welfare_others_with)
+
+        schedule_like = _Schedule(loads, dict(delivered))
+        chosen = {r.rid: r.demand for r in workload.requests
+                  if delivered.get(r.rid, 0.0) > EPS}
+        return run_result(workload, self.name, schedule_like,
+                          payments=dict(payments), chosen=chosen)
+
+    def _step_allocation(self, requests, rates, paths: PathCache,
+                         capacities: np.ndarray
+                         ) -> tuple[dict[int, tuple[float, dict[int, float]]],
+                                    float, dict[int, float]]:
+        """One spot auction: maximise declared welfare under capacities.
+
+        Returns (per-request allocation with per-link usage, declared
+        welfare of the allocation, per-link capacity duals).
+        """
+        model = Model(sense="max", name="vcg-step")
+        per_request: dict[int, list] = {}
+        by_link: dict[int, list] = {}
+        var_paths: list[tuple[int, tuple[int, ...], object]] = []
+        objective_terms = []
+        for request in requests:
+            routes = paths.routes(request.src, request.dst)
+            flows = []
+            for path in routes:
+                var = model.add_variable(f"x[{request.rid}]", lb=0.0)
+                flows.append(var)
+                var_paths.append((request.rid, path.link_indices(), var))
+                for index in path.link_indices():
+                    by_link.setdefault(index, []).append(var)
+                objective_terms.append(request.value * var)
+            if flows:
+                per_request[request.rid] = flows
+                model.add_constraint(quicksum(flows) <= rates[request.rid],
+                                     name=f"rate[{request.rid}]")
+        if not objective_terms:
+            return {}, 0.0, {}
+        cap_constraints = {}
+        for index, variables in by_link.items():
+            cap_constraints[index] = model.add_constraint(
+                quicksum(variables) <= float(capacities[index]),
+                name=f"cap[{index}]")
+        model.set_objective(quicksum(objective_terms))
+        solution = model.solve()
+
+        link_duals = {index: max(0.0, solution.dual(con))
+                      for index, con in cap_constraints.items()}
+        allocation: dict[int, tuple[float, dict[int, float]]] = {}
+        for rid, links, var in var_paths:
+            volume = solution.value(var)
+            if volume <= EPS:
+                continue
+            total, link_use = allocation.get(rid, (0.0, {}))
+            for index in links:
+                link_use[index] = link_use.get(index, 0.0) + volume
+            allocation[rid] = (total + volume, link_use)
+        return allocation, float(solution.objective), link_duals
+
+
+class _Schedule:
+    """Duck-typed stand-in for :class:`~repro.baselines.base.OfflineSchedule`."""
+
+    def __init__(self, loads, delivered):
+        self.loads = loads
+        self.delivered = delivered
+        self.per_step = {}
+        self.objective = 0.0

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate-workload``
+    Synthesize a calibrated workload on a synthetic WAN and save it as a
+    JSON artifact.
+``run``
+    Run one evaluation scheme over a workload artifact (or the standard
+    scenario) and print/save the summary metrics.
+``figure``
+    Regenerate one of the paper's figures/tables and print its rows.
+``list-schemes``
+    Show the evaluation scheme names accepted by ``run``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .costs import LinkCostModel
+from .experiments import (SCHEME_FACTORIES, format_series, format_table,
+                          run_scheme, standard_scenario)
+from .experiments import figures as figures_module
+from .experiments.scenarios import Scenario
+from .network import wan_topology
+from .sim import save_summary, summarize
+from .traffic import NormalValues, build_workload, load_workload, \
+    save_workload
+
+#: Figure/table generators reachable from the CLI.
+FIGURES = {
+    "1": figures_module.figure1,
+    "2": figures_module.figure2,
+    "4": figures_module.figure4,
+    "5": figures_module.figure5,
+    "6": figures_module.figure6,
+    "7": figures_module.figure7,
+    "8": figures_module.figure8,
+    "9": figures_module.figure9,
+    "10": figures_module.figure10,
+    "11": figures_module.figure11,
+    "12": figures_module.figure12,
+    "13": figures_module.figure13,
+    "14": figures_module.figure14,
+    "table4": figures_module.table4,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Pretium reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate-workload",
+                         help="synthesize a workload artifact")
+    gen.add_argument("--out", required=True, help="output JSON path")
+    gen.add_argument("--nodes", type=int, default=16)
+    gen.add_argument("--regions", type=int, default=4)
+    gen.add_argument("--days", type=int, default=2)
+    gen.add_argument("--steps-per-day", type=int, default=12)
+    gen.add_argument("--load", type=float, default=1.0)
+    gen.add_argument("--metered-cost", type=float, default=40.0)
+    gen.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="run a scheme over a workload")
+    run.add_argument("--scheme", default="Pretium",
+                     choices=sorted(SCHEME_FACTORIES))
+    run.add_argument("--workload", help="workload artifact from "
+                                        "generate-workload (default: the "
+                                        "standard scenario)")
+    run.add_argument("--load", type=float, default=1.0,
+                     help="standard-scenario load factor (no --workload)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--out", help="write the summary JSON here")
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    fig.add_argument("id", choices=sorted(FIGURES),
+                     help="figure number or 'table4'")
+    fig.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list-schemes", help="list evaluation scheme names")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    topology = wan_topology(n_nodes=args.nodes, n_regions=args.regions,
+                            metered_cost=args.metered_cost, seed=args.seed)
+    workload = build_workload(topology, n_days=args.days,
+                              steps_per_day=args.steps_per_day,
+                              load_factor=args.load,
+                              values=NormalValues(1.0, 0.5), seed=args.seed)
+    save_workload(workload, args.out)
+    print(f"wrote {workload.n_requests} requests over {workload.n_steps} "
+          f"steps to {args.out}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.workload:
+        workload = load_workload(args.workload)
+        cost_model = LinkCostModel(workload.topology,
+                                   billing_window=workload.steps_per_day)
+        scenario = Scenario(workload.topology, workload, cost_model)
+    else:
+        scenario = standard_scenario(load_factor=args.load, seed=args.seed)
+    result = run_scheme(args.scheme, scenario)
+    record = summarize(result, scenario.cost_model)
+    rows = [[key, value] for key, value in record.items()
+            if isinstance(value, (int, float, str))]
+    print(format_table(["metric", "value"], rows))
+    if args.out:
+        save_summary(record, args.out)
+        print(f"summary written to {args.out}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    generator = FIGURES[args.id]
+    data = generator() if args.id == "2" else generator(seed=args.seed)
+    print(_render_figure(args.id, data))
+    return 0
+
+
+def _render_figure(figure_id: str, data: dict) -> str:
+    if figure_id == "2":
+        rows = [[row.scheme, row.prices, row.welfare]
+                for row in data["rows"]]
+        return format_table(["scheme", "prices", "welfare"], rows)
+    if "load_factors" in data:
+        series = {key: values for key, values in data.items()
+                  if isinstance(values, dict)}
+        blocks = [format_series(f"figure {figure_id} - {name}",
+                                data["load_factors"], inner, x_label="load")
+                  for name, inner in series.items()]
+        return "\n\n".join(blocks)
+    return json.dumps(data, indent=2, default=str)
+
+
+def _cmd_list_schemes() -> int:
+    for name in sorted(SCHEME_FACTORIES):
+        print(name)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate-workload":
+        return _cmd_generate(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "list-schemes":
+        return _cmd_list_schemes()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

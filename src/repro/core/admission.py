@@ -1,0 +1,204 @@
+"""Request admission interface (paper §4.1).
+
+On every arrival the RA builds a price menu by greedily routing volume
+along the cheapest remaining (route, timestep) pair — so the quoted
+``p_i(x)`` is the *minimum* total price at which ``x`` units fit within
+the window, which is what drives the incentive properties of §5.  The
+customer picks a point on the menu; the chosen prefix is reserved as the
+preliminary schedule, and the congested-segment price structure provides
+the short-term price adjustment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..network import Path
+from .menu import MenuSegment, PriceMenu
+from .request import ByteRequest
+from .state import NetworkState
+
+#: Volumes below this are treated as zero throughout admission.
+EPS = 1e-9
+
+
+@dataclass
+class Contract:
+    """An accepted request with its service guarantee.
+
+    Attributes
+    ----------
+    request:
+        The underlying byte request.
+    chosen:
+        Volume the customer elected to send, ``x_i`` (may exceed the
+        guarantee when best-effort volume was requested).
+    guaranteed:
+        ``g_i = min(x_i, x̄_i)`` — volume Pretium promises to deliver by
+        the deadline.
+    menu:
+        The full quoted menu (used for settlement: delivered volume is
+        charged along the cheapest-first prefix).
+    marginal_price:
+        ``lambda_i``: marginal price at the purchase point; the schedule
+        adjuster and price computer use it as the value proxy (§4.2).
+    admitted_at:
+        Timestep of admission.
+    flat_price:
+        Set for scavenger-class contracts (§4.4): the per-unit price the
+        customer named; every delivered unit is billed at it and no menu
+        is involved.
+    """
+
+    request: ByteRequest
+    chosen: float
+    guaranteed: float
+    menu: PriceMenu
+    marginal_price: float
+    admitted_at: int
+    flat_price: float | None = None
+
+    @classmethod
+    def scavenger(cls, request: ByteRequest, named_price: float,
+                  now: int) -> "Contract":
+        """A best-effort contract at a customer-named price (§4.4).
+
+        No guarantee, no reservation; the schedule adjuster serves it
+        from leftover capacity whenever ``named_price`` covers the
+        marginal cost, exactly like best-effort volume.
+        """
+        if named_price < 0:
+            raise ValueError("named price must be nonnegative")
+        return cls(request=request, chosen=request.demand, guaranteed=0.0,
+                   menu=PriceMenu([]), marginal_price=named_price,
+                   admitted_at=now, flat_price=named_price)
+
+    @property
+    def rid(self) -> int:
+        return self.request.rid
+
+    @property
+    def best_effort_volume(self) -> float:
+        """Volume beyond the guarantee, served only if capacity allows."""
+        return max(0.0, self.chosen - self.guaranteed)
+
+    def payment_for(self, delivered: float) -> float:
+        """Price owed for ``delivered`` volume.
+
+        Guaranteed volume is charged along the quoted menu prefix
+        (cheapest segments first); best-effort volume at the best-effort
+        marginal price.  Undelivered volume is never charged.
+        """
+        billable = min(delivered, self.chosen)
+        if billable <= EPS:
+            return 0.0
+        if self.flat_price is not None:
+            return billable * self.flat_price
+        in_guarantee = min(billable, self.guaranteed)
+        total = self.menu.price(in_guarantee)
+        extra = billable - in_guarantee
+        if extra > EPS:
+            total += extra * self.menu.best_effort_price
+        return total
+
+
+class RequestAdmission:
+    """The RA module: quoting, user contracting, preliminary scheduling."""
+
+    def __init__(self, state: NetworkState) -> None:
+        self.state = state
+
+    # -- quoting --------------------------------------------------------
+    def quote(self, request: ByteRequest, now: int) -> PriceMenu:
+        """Build the price menu for ``request`` at timestep ``now``.
+
+        Greedy construction: repeatedly take the cheapest (route,
+        timestep) pair with remaining capacity, add a menu segment for the
+        volume available at that marginal price, and virtually reserve it.
+        Stops once the request's full demand is covered (quoting beyond
+        the demand would never be purchased).  Marginal prices only rise
+        as segments fill, so the menu is convex by construction.
+        """
+        routes = self.state.paths.routes(request.src, request.dst)
+        config = self.state.config
+        if not routes:
+            return PriceMenu([], best_effort=config.allow_best_effort)
+        first = max(request.start, now)
+        steps = [t for t in range(first, request.deadline + 1)
+                 if t < self.state.n_steps]
+        if not steps:
+            return PriceMenu([], best_effort=config.allow_best_effort)
+
+        # Scratch reservations so that quoting never mutates real state.
+        involved: set[int] = set()
+        for path in routes:
+            involved.update(path.link_indices())
+        scratch = {(index, t): float(self.state.reserved[t, index])
+                   for index in involved for t in steps}
+
+        segments: list[MenuSegment] = []
+        covered = 0.0
+        while covered < request.demand - EPS:
+            best: tuple[float, float, Path, int] | None = None
+            for path in routes:
+                for t in steps:
+                    price, available = self._path_head(path, t, scratch)
+                    if available <= EPS:
+                        continue
+                    if best is None or price < best[0] - EPS:
+                        best = (price, available, path, t)
+            if best is None:
+                break
+            price, available, path, t = best
+            take = min(available, request.demand - covered)
+            segments.append(MenuSegment(take, price, path, t))
+            covered += take
+            for index in path.link_indices():
+                scratch[(index, t)] += take
+        return PriceMenu(segments, best_effort=config.allow_best_effort)
+
+    def _path_head(self, path: Path, t: int,
+                   scratch: dict[tuple[int, int], float]
+                   ) -> tuple[float, float]:
+        """Marginal price and volume available at it for (path, t).
+
+        The price is the sum of each link's *current* segment price given
+        the scratch reservations; the volume is the bottleneck of each
+        link's current segment.
+        """
+        price = 0.0
+        available = math.inf
+        for index in path.link_indices():
+            segments = self.state.price_segments(
+                index, t, reserved_override=scratch[(index, t)])
+            if not segments:
+                return 0.0, 0.0
+            quantity, unit_price = segments[0]
+            price += unit_price
+            available = min(available, quantity)
+        return price, available
+
+    # -- contracting -------------------------------------------------------
+    def admit(self, request: ByteRequest, menu: PriceMenu, chosen: float,
+              now: int) -> Contract | None:
+        """Record the customer's choice and reserve its guarantee.
+
+        Returns ``None`` when the customer declines (``chosen == 0``).
+        The reserved preliminary schedule covers only the guaranteed part;
+        best-effort volume is left to the schedule adjuster.
+        """
+        if chosen <= EPS:
+            return None
+        if chosen > request.demand + EPS:
+            raise ValueError(f"request {request.rid}: chose {chosen} above "
+                             f"demand {request.demand}")
+        guaranteed = min(chosen, menu.max_guaranteed)
+        marginal = menu.marginal(max(0.0, chosen - EPS))
+        contract = Contract(request=request, chosen=chosen,
+                            guaranteed=guaranteed, menu=menu,
+                            marginal_price=marginal, admitted_at=now)
+        for segment, volume in menu.guaranteed_prefix(guaranteed):
+            self.state.reserve(request.rid, segment.path, segment.timestep,
+                               volume)
+        return contract

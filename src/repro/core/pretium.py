@@ -1,0 +1,158 @@
+"""The Pretium controller: RA + SAM + PC wired to the simulation clock.
+
+Implements the online-scheme protocol the simulator drives
+(:mod:`repro.sim.engine`):
+
+- ``begin(workload)`` — build the shared :class:`NetworkState`;
+- ``window_start(t)`` — run the price computer at window boundaries;
+- ``arrival(request, t)`` — quote a menu, let the user model respond,
+  admit and reserve the preliminary schedule;
+- ``step(t, delivered, loads)`` — run the schedule adjuster and return
+  the transmissions to execute at ``t``.
+
+Ablations are configuration, not separate code paths: ``sam_enabled=False``
+executes preliminary plans verbatim (Pretium-NoSAM) and a
+:class:`~repro.core.users.AllOrNothingUser` models Pretium-NoMenu.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .admission import EPS, Contract, RequestAdmission
+from .config import PretiumConfig
+from .pricer import PriceComputer
+from .request import ByteRequest
+from .sam import (ScheduleAdjuster, Transmission, install_plan,
+                  transmissions_now)
+from .state import NetworkState
+from .users import AllOrNothingUser, BestResponseUser, UserModel
+
+
+class PretiumController:
+    """Online Pretium scheme.
+
+    Parameters
+    ----------
+    config:
+        Knobs; when ``None`` a default config is derived from the workload
+        at :meth:`begin` (window = one day, lookback = 1.5 windows).
+    user_model:
+        Customer behaviour; defaults to the Theorem 5.2 best response, or
+        all-or-nothing when the config disables menus.
+    """
+
+    name = "Pretium"
+
+    def __init__(self, config: PretiumConfig | None = None,
+                 user_model: UserModel | None = None) -> None:
+        self._config_template = config
+        self._user_model = user_model
+        self.state: NetworkState | None = None
+        self.contracts: list[Contract] = []
+        self.menus: dict[int, object] = {}
+        self.price_updates: int = 0
+
+    # -- protocol ----------------------------------------------------------
+    def begin(self, workload) -> None:
+        """Initialise state for a workload (fresh per run)."""
+        config = self._config_template
+        if config is None:
+            window = workload.steps_per_day
+            config = PretiumConfig(window=window,
+                                   lookback=window + window // 2)
+        self.config = config
+        self.user = self._user_model or (
+            BestResponseUser() if config.menu_enabled else AllOrNothingUser())
+        self.state = NetworkState(workload.topology, workload.n_steps, config)
+        self.admission = RequestAdmission(self.state)
+        self.sam = ScheduleAdjuster(self.state, workload.steps_per_day)
+        self.pricer = PriceComputer(self.state, workload.steps_per_day)
+        self.contracts = []
+        self.menus = {}
+        self.price_updates = 0
+
+    def window_start(self, t: int) -> None:
+        """Run the price computer at window boundaries."""
+        if t % self.config.window == 0:
+            if self.pricer.update(self.contracts, t):
+                self.price_updates += 1
+
+    def arrival(self, request: ByteRequest, t: int) -> Contract | None:
+        """Quote, let the customer respond, admit.
+
+        Scavenger-class requests (§4.4) skip the menu: they name their
+        price (modelled as the customer's value) and are served best
+        effort by the schedule adjuster whenever leftover capacity makes
+        it worthwhile.
+        """
+        if request.scavenger:
+            contract = Contract.scavenger(request, request.value, t)
+            self.contracts.append(contract)
+            return contract
+        menu = self.admission.quote(request, t)
+        self.menus[request.rid] = menu
+        chosen = self.user.choose(request, menu)
+        contract = self.admission.admit(request, menu, chosen, t)
+        if contract is not None:
+            self.contracts.append(contract)
+        return contract
+
+    def step(self, t: int, delivered: dict[int, float],
+             loads: np.ndarray) -> list[Transmission]:
+        """Transmissions to execute at timestep ``t``."""
+        if self.config.sam_enabled:
+            plan = self.sam.adjust(self.contracts, delivered, loads, t)
+            if plan is None:
+                plan = []
+            active = {c.rid for c in self.contracts
+                      if c.request.deadline >= t}
+            install_plan(self.state, plan, t, active_rids=active)
+            return transmissions_now(plan, t)
+        return self._preliminary_step(t, delivered)
+
+    # -- NoSAM execution -----------------------------------------------------
+    def _preliminary_step(self, t: int,
+                          delivered: dict[int, float]) -> list[Transmission]:
+        """Execute the preliminary (admission-time) plan verbatim.
+
+        Volumes are clamped to the links' *current* usable capacity: a
+        reservation on a link that has since failed (or lost headroom to
+        high-pri traffic) cannot physically transmit.  Without SAM there
+        is no replanning, so clamped volume is simply lost — which is the
+        point of the Figure 11 ablation.
+        """
+        step_loads = np.zeros(self.state.topology.num_links)
+        capacity = self.state.capacity[t]
+        transmissions = []
+        for contract in self.contracts:
+            if contract.request.deadline < t:
+                continue
+            remaining = contract.chosen - delivered.get(contract.rid, 0.0)
+            if remaining <= EPS:
+                continue
+            for links, volume in self.state.planned_at(contract.rid, t):
+                headroom = min(capacity[index] - step_loads[index]
+                               for index in links)
+                take = min(volume, remaining, max(0.0, headroom))
+                if take > EPS:
+                    transmissions.append(
+                        Transmission(contract.rid, links, t, take))
+                    remaining -= take
+                    for index in links:
+                        step_loads[index] += take
+        return transmissions
+
+    # -- introspection -------------------------------------------------------
+    def contract_for(self, rid: int) -> Contract | None:
+        for contract in self.contracts:
+            if contract.rid == rid:
+                return contract
+        return None
+
+    def price_series(self, src: str, dst: str) -> np.ndarray:
+        """Internal price over time on the direct link src->dst (Fig 7a)."""
+        link = self.state.topology.link_between(src, dst)
+        return self.state.prices[:, link.index].copy()

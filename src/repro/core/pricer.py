@@ -1,0 +1,212 @@
+"""Price computer (PC, paper §4.3).
+
+At the start of every time window the PC re-derives the internal
+per-(link, timestep) prices:
+
+1. gather every contract whose window intersects a *lookback period* of
+   length ``T >= W`` ending now;
+2. solve the offline welfare LP over that period in hindsight, with the
+   marginal admission prices as value proxies and the top-k percentile
+   cost proxy;
+3. read each (link, timestep) price off the LP: the capacity constraint's
+   dual (the congestion price) plus, on metered links, the cost gradient
+   ``C_e / k`` for the timesteps that sit in the window's realised top-k
+   (the marginal cost of one more unit there);
+4. restrict the prices to the *reference window* (the last ``W`` steps)
+   and install them for the upcoming window, carried over to later
+   windows for requests with far deadlines.
+
+This is the self-correcting loop of §4.3: an underpriced link attracts
+traffic, congests, earns a positive dual, and is re-priced upward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lp import Model, add_sum_topk, quicksum
+from .admission import EPS, Contract
+from .state import NetworkState
+
+
+class PriceComputer:
+    """The PC module."""
+
+    def __init__(self, state: NetworkState, billing_window: int) -> None:
+        if billing_window <= 0:
+            raise ValueError("billing window must be positive")
+        self.state = state
+        self.billing_window = billing_window
+
+    def update(self, contracts: list[Contract], now: int) -> bool:
+        """Recompute prices at window-start ``now``.
+
+        Returns ``False`` (leaving prices unchanged) when there is no
+        history yet or no contract overlaps the lookback period.
+        """
+        config = self.state.config
+        window = config.window
+        if now < window:
+            return False
+        period_start = max(0, now - config.lookback)
+        period_end = now
+        relevant = [c for c in contracts
+                    if c.request.start < period_end
+                    and c.request.deadline >= period_start
+                    and c.chosen > EPS]
+        if not relevant:
+            return False
+
+        duals, covered = self._solve_offline(relevant, period_start,
+                                             period_end)
+        prices = self._effective_prices(duals, covered)
+
+        reference = prices[period_end - window - period_start:
+                           period_end - period_start]
+        self.state.set_prices(now, reference)
+        return True
+
+    # -- offline hindsight LP ---------------------------------------------
+    def _solve_offline(self, contracts: list[Contract], period_start: int,
+                       period_end: int) -> tuple[np.ndarray, np.ndarray]:
+        """Welfare LP over the lookback period.
+
+        Returns per-(timestep, link) marginal prices (capacity dual plus
+        metered cost gradient) and a boolean mask of the (timestep, link)
+        pairs whose cost gradient the LP actually modelled; both arrays
+        are ``(period_len, n_links)`` with period-relative rows.
+        """
+        state = self.state
+        config = state.config
+        n_links = state.topology.num_links
+        period_len = period_end - period_start
+        model = Model(sense="max", name=f"pc@{period_end}")
+
+        by_link_step: dict[tuple[int, int], list] = {}
+        value_terms = []
+        for contract in contracts:
+            request = contract.request
+            routes = state.paths.routes(request.src, request.dst)
+            first = max(request.start, period_start)
+            last = min(request.deadline, period_end - 1)
+            flows = []
+            for path in routes:
+                for t in range(first, last + 1):
+                    var = model.add_variable(f"x[{contract.rid}]", lb=0.0)
+                    flows.append(var)
+                    for index in path.link_indices():
+                        by_link_step.setdefault((index, t), []).append(var)
+                    value_terms.append(contract.marginal_price * var)
+            if flows:
+                model.add_constraint(quicksum(flows) <= contract.chosen,
+                                     name=f"demand[{contract.rid}]")
+
+        cap_constraints: dict[tuple[int, int], object] = {}
+        for (index, t), variables in by_link_step.items():
+            cap_constraints[(index, t)] = model.add_constraint(
+                quicksum(variables) <= float(state.capacity[t, index]),
+                name=f"cap[{index},{t}]")
+
+        # Percentile-cost proxy per billing window intersecting the period.
+        # The equality constraint tying each load variable to its flows
+        # carries the cost gradient as its dual: at a levelled optimum the
+        # top-k subgradient spreads fractionally over tied steps, which the
+        # LP dual captures exactly (a hand-rolled "C_e/k on the top-k
+        # steps" rule would overprice flat schedules ~W/k-fold).
+        load_constraints: dict[tuple[int, int], object] = {}
+        cost_terms = []
+        for link in state.topology.metered_links():
+            steps = [t for (index, t) in by_link_step if index == link.index]
+            if not steps:
+                continue
+            window_starts = sorted({(t // self.billing_window)
+                                    * self.billing_window for t in steps})
+            for window_start in window_starts:
+                window_end = min(window_start + self.billing_window,
+                                 state.n_steps)
+                length = window_end - window_start
+                k = max(1, int(round(config.topk_fraction * length)))
+                loads = []
+                for t in range(window_start, window_end):
+                    flows = by_link_step.get((link.index, t))
+                    load = model.add_variable(
+                        f"load[{link.index},{t}]", lb=0.0)
+                    constraint = model.add_constraint(
+                        load == (quicksum(flows) if flows else 0.0))
+                    load_constraints[(link.index, t)] = constraint
+                    loads.append(load)
+                bound = add_sum_topk(model, loads, k,
+                                     name=f"z[{link.index},{window_start}]",
+                                     encoding=config.topk_encoding)
+                cost_terms.append((link.cost_per_unit / k) * bound)
+
+        model.set_objective(quicksum(value_terms) - quicksum(cost_terms)
+                            if cost_terms else quicksum(value_terms))
+        solution = model.solve()
+
+        duals = np.zeros((period_len, n_links))
+        for (index, t), constraint in cap_constraints.items():
+            if period_start <= t < period_end:
+                duals[t - period_start, index] = max(
+                    0.0, solution.dual(constraint))
+        # Cost gradients: the equality is written load - flows == 0, so
+        # raising its rhs injects phantom load; the objective falls by the
+        # marginal cost, i.e. gradient = -dual.
+        # Cost gradients are redistributed uniformly within each billing
+        # window.  At a levelled optimum the dual is a degenerate vertex:
+        # HiGHS may put the whole mass C_e on a few steps and zero on the
+        # rest, and menus would then route through the "free" steps,
+        # systematically undercharging.  Spreading the window's total
+        # gradient mass evenly keeps exact cost recovery for levelled use
+        # while closing the free-riding hole.
+        covered = np.zeros((period_len, n_links), dtype=bool)
+        gradient_mass: dict[tuple[int, int], float] = {}
+        window_steps: dict[tuple[int, int], list[int]] = {}
+        for (index, t), constraint in load_constraints.items():
+            window_start = (t // self.billing_window) * self.billing_window
+            key = (index, window_start)
+            gradient_mass[key] = gradient_mass.get(key, 0.0) + max(
+                0.0, -solution.dual(constraint))
+            window_steps.setdefault(key, []).append(t)
+        # The uniform gradient is additionally capped at the *levelled*
+        # marginal cost C_e / L: on a window the LP left idle, every
+        # step's first-unit marginal is C_e/k, so the raw mass can reach
+        # W * C_e/k and would lock the link out permanently.  The
+        # coordinated (levelled) price keeps idle links purchasable; the
+        # schedule adjuster levels the resulting aggregate so realised
+        # percentile costs track what was charged.
+        leveling = self.state.config.initial_metered_leveling
+        unit_cost = {link.index: link.cost_per_unit
+                     for link in self.state.topology.metered_links()}
+        for (index, window_start), mass in gradient_mass.items():
+            steps = window_steps[(index, window_start)]
+            uniform = min(mass / len(steps), unit_cost[index] / leveling)
+            for t in steps:
+                if period_start <= t < period_end:
+                    duals[t - period_start, index] += uniform
+                    covered[t - period_start, index] = True
+        return duals, covered
+
+    # -- dual -> price mapping ----------------------------------------------
+    def _effective_prices(self, duals: np.ndarray,
+                          covered: np.ndarray) -> np.ndarray:
+        """Fill cost gradients the LP did not model, apply the floor.
+
+        ``duals`` already contains capacity duals plus LP cost gradients
+        for every (timestep, link) the lookback LP touched.  Metered
+        link-steps the LP never modelled (no request could use them) fall
+        back to the levelled-schedule gradient ``C_e / W``.
+        """
+        config = self.state.config
+        prices = duals.copy()
+        leveling = config.initial_metered_leveling
+        for link in self.state.topology.metered_links():
+            baseline = link.cost_per_unit / leveling
+            # Never sell metered capacity below its levelled cost: on
+            # windows the lookback LP left idle the gradient dual can be
+            # a degenerate zero, and a floor-priced metered link would
+            # attract the whole network's traffic at enormous realised
+            # percentile cost.
+            column = prices[:, link.index]
+            prices[:, link.index] = np.maximum(column, baseline)
+        return np.maximum(prices, config.price_floor)

@@ -1,0 +1,135 @@
+"""Request types (paper §3.1 and §4.4).
+
+A **byte request** asks to move ``demand`` volume units from ``src`` to
+``dst`` within the timestep window ``[start, deadline]`` (both inclusive).
+The customer's value per unit, ``value``, is private — schemes other than
+the oracle baselines never read it directly.
+
+A **rate request** asks for a guaranteed rate over an interval; per §4.4 it
+is handled as a sequence of single-timestep byte requests, produced by
+:meth:`RateRequest.to_byte_requests`.
+
+This module is a dependency leaf: both the traffic synthesizer (which
+produces requests) and the Pretium core (which serves them) import it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ByteRequest:
+    """A deadline-bound bulk transfer.
+
+    Attributes
+    ----------
+    rid:
+        Unique request id.
+    src, dst:
+        Endpoints (datacenter names).
+    demand:
+        Total volume the customer would like moved (``d_i``).
+    arrival:
+        Timestep at which the request is submitted (``a_i``); the provider
+        learns of the request only then.
+    start, deadline:
+        First and last timestep (inclusive) during which data may be moved
+        (``t1_i``, ``t2_i``).
+    value:
+        Private value per volume unit (``v_i``).  Read only by the user
+        model and by oracle baselines.
+    scavenger:
+        If true, this is a best-effort "scavenger class" request (§4.4):
+        it receives no guarantee and is scheduled only into leftover
+        capacity at the price it named.
+    """
+
+    rid: int
+    src: str
+    dst: str
+    demand: float
+    arrival: int
+    start: int
+    deadline: int
+    value: float
+    scavenger: bool = False
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"request {self.rid}: src == dst ({self.src})")
+        if self.demand <= 0:
+            raise ValueError(f"request {self.rid}: demand must be positive")
+        if self.value < 0:
+            raise ValueError(f"request {self.rid}: negative value")
+        if self.deadline < self.start:
+            raise ValueError(f"request {self.rid}: deadline {self.deadline} "
+                             f"before start {self.start}")
+        if self.start < self.arrival:
+            raise ValueError(f"request {self.rid}: starts before arrival")
+
+    @property
+    def window(self) -> range:
+        """Timesteps during which this request may transmit."""
+        return range(self.start, self.deadline + 1)
+
+    @property
+    def window_length(self) -> int:
+        return self.deadline - self.start + 1
+
+    @property
+    def total_value(self) -> float:
+        """Value if the full demand is delivered (linear utility)."""
+        return self.value * self.demand
+
+    def with_window(self, start: int, deadline: int) -> "ByteRequest":
+        """Copy with an altered window (used by the deviation simulator)."""
+        return replace(self, start=start, deadline=deadline)
+
+    def with_demand(self, demand: float) -> "ByteRequest":
+        """Copy with an altered demand."""
+        return replace(self, demand=demand)
+
+
+@dataclass(frozen=True)
+class RateRequest:
+    """A guaranteed-rate lease (e.g. 250 Mbps in/out for a VM lease).
+
+    Per §4.4 a rate request is equivalent to one byte request per timestep,
+    each demanding ``rate`` units within a single-step window.
+    """
+
+    rid: int
+    src: str
+    dst: str
+    rate: float
+    arrival: int
+    start: int
+    end: int
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate request {self.rid}: rate must be positive")
+        if self.end < self.start:
+            raise ValueError(f"rate request {self.rid}: empty interval")
+        if self.start < self.arrival:
+            raise ValueError(f"rate request {self.rid}: starts before arrival")
+        if self.src == self.dst:
+            raise ValueError(f"rate request {self.rid}: src == dst")
+        if self.value < 0:
+            raise ValueError(f"rate request {self.rid}: negative value")
+
+    def to_byte_requests(self, id_offset: int = 0) -> list[ByteRequest]:
+        """Expand into per-timestep byte requests (§4.4).
+
+        Sub-request ids are ``id_offset + t - start`` so they stay unique
+        when the caller reserves a contiguous id block.
+        """
+        return [
+            ByteRequest(rid=id_offset + t - self.start, src=self.src,
+                        dst=self.dst, demand=self.rate, arrival=self.arrival,
+                        start=t, deadline=t, value=self.value)
+            for t in range(self.start, self.end + 1)
+        ]

@@ -1,0 +1,219 @@
+"""Schedule adjustment module (SAM, paper §4.2).
+
+Once per timestep SAM re-solves the routing of every unfinished contract
+from the current timestep to the last active deadline:
+
+    maximize   sum_i lambda_i * X_irt  -  C(X)
+    subject to sum_rt X_irt <= chosen_i - delivered_i      (demand)
+               sum_rt X_irt >= guaranteed_i - delivered_i  (guarantee)
+               sum_{i,r∋e} X_irt <= c_{e,t}                (capacity)
+
+with the marginal admission price ``lambda_i`` standing in for the private
+value, and ``C(X)`` the top-k percentile proxy of §4.2 over each billing
+window.  Loads already realised earlier in a billing window enter the
+top-k encoding as constants.
+
+Infeasibility can only arise after a network fault shrinks capacity below
+outstanding guarantees; SAM then retries without the guarantee constraints
+(best effort to minimise reneging — §4.4 notes the likelihood is small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lp import InfeasibleError, Model, add_sum_topk, quicksum
+from ..network import Path
+from .admission import EPS, Contract
+from .state import NetworkState
+
+
+@dataclass
+class Transmission:
+    """One scheduled (request, path, timestep) volume.
+
+    ``links`` is the tuple of link indices along the chosen route.
+    """
+
+    rid: int
+    links: tuple[int, ...]
+    timestep: int
+    volume: float
+
+
+class ScheduleAdjuster:
+    """The SAM module."""
+
+    def __init__(self, state: NetworkState, billing_window: int) -> None:
+        if billing_window <= 0:
+            raise ValueError("billing window must be positive")
+        self.state = state
+        self.billing_window = billing_window
+
+    def adjust(self, contracts: list[Contract],
+               delivered: dict[int, float],
+               realized_loads: np.ndarray,
+               now: int) -> list[Transmission] | None:
+        """Re-optimise all open contracts from timestep ``now`` onward.
+
+        ``realized_loads[t, e]`` holds actual per-link volume for t < now.
+        Returns the full new plan (transmissions at ``now`` and later), or
+        ``None`` when there is nothing to schedule.
+        """
+        active = [c for c in contracts
+                  if c.request.deadline >= now
+                  and delivered.get(c.rid, 0.0) < c.chosen - EPS]
+        if not active:
+            return []
+
+        try:
+            return self._solve(active, delivered, realized_loads, now,
+                               enforce_guarantees=True)
+        except InfeasibleError:
+            # A fault broke feasibility of the outstanding guarantees;
+            # degrade to best effort rather than dropping the step.
+            return self._solve(active, delivered, realized_loads, now,
+                               enforce_guarantees=False)
+
+    # -- LP construction ---------------------------------------------------
+    def _solve(self, active: list[Contract], delivered: dict[int, float],
+               realized_loads: np.ndarray, now: int,
+               enforce_guarantees: bool) -> list[Transmission]:
+        state = self.state
+        config = state.config
+        horizon = min(state.n_steps - 1,
+                      max(c.request.deadline for c in active))
+        model = Model(sense="max", name=f"sam@{now}")
+
+        # Decision variables per (contract, route, timestep).
+        entries: list[tuple[Contract, Path, int, object]] = []
+        by_link_step: dict[tuple[int, int], list[object]] = {}
+        value_terms = []
+        for contract in active:
+            request = contract.request
+            routes = state.paths.routes(request.src, request.dst)
+            first = max(request.start, now)
+            remaining_cap = contract.chosen - delivered.get(contract.rid, 0.0)
+            flows = []
+            for path in routes:
+                for t in range(first, request.deadline + 1):
+                    var = model.add_variable(
+                        f"x[{contract.rid}]", lb=0.0, ub=remaining_cap)
+                    entries.append((contract, path, t, var))
+                    flows.append(var)
+                    for index in path.link_indices():
+                        by_link_step.setdefault((index, t), []).append(var)
+                    value_terms.append(contract.marginal_price * var)
+            if not flows:
+                continue
+            total = quicksum(flows)
+            model.add_constraint(total <= remaining_cap,
+                                 name=f"demand[{contract.rid}]")
+            if enforce_guarantees:
+                need = contract.guaranteed - delivered.get(contract.rid, 0.0)
+                if need > EPS:
+                    model.add_constraint(total >= need,
+                                         name=f"guarantee[{contract.rid}]")
+
+        # Capacity per (link, timestep) actually used by any variable, plus
+        # a tiny penalty on volume in the congested segment: SAM's LP has
+        # many degenerate optima, and without this nudge the solver may
+        # bunch traffic into few steps, pushing later arrivals into the
+        # doubled-price segments the admission interface quotes from.
+        smoothing_terms = []
+        smoothing_weight = config.price_floor * 0.1
+        for (index, t), variables in by_link_step.items():
+            cap = float(state.capacity[t, index])
+            model.add_constraint(quicksum(variables) <= cap,
+                                 name=f"cap[{index},{t}]")
+            if config.short_term_adjustment and smoothing_weight > 0:
+                over = model.add_variable(f"over[{index},{t}]", lb=0.0)
+                model.add_constraint(
+                    over >= quicksum(variables)
+                    - config.congestion_threshold * cap)
+                smoothing_terms.append(smoothing_weight * over)
+
+        cost_terms = self._cost_proxy_terms(model, by_link_step,
+                                            realized_loads, now, horizon)
+        cost_terms = cost_terms + smoothing_terms
+
+        model.set_objective(quicksum(value_terms) - quicksum(cost_terms)
+                            if cost_terms else quicksum(value_terms))
+        solution = model.solve()
+
+        plan = [Transmission(contract.rid, path.link_indices(), t,
+                             solution.value(var))
+                for contract, path, t, var in entries
+                if solution.value(var) > EPS]
+        return plan
+
+    def _cost_proxy_terms(self, model: Model,
+                          by_link_step: dict[tuple[int, int], list[object]],
+                          realized_loads: np.ndarray, now: int,
+                          horizon: int) -> list[object]:
+        """Top-k percentile-cost proxy over every touched billing window.
+
+        For each metered link with decision variables in some billing
+        window, build load variables for every step of the window —
+        realised past steps become fixed variables — and charge
+        ``C_e / k`` per unit of the sum-of-top-k bound.
+        """
+        state = self.state
+        config = state.config
+        touched_links = {index for (index, _t) in by_link_step}
+        cost_terms = []
+        for link in state.topology.metered_links():
+            if link.index not in touched_links:
+                continue
+            window_starts = sorted({
+                (t // self.billing_window) * self.billing_window
+                for (index, t) in by_link_step if index == link.index})
+            for window_start in window_starts:
+                window_end = min(window_start + self.billing_window,
+                                 state.n_steps)
+                length = window_end - window_start
+                k = max(1, int(round(config.topk_fraction * length)))
+                loads = []
+                for t in range(window_start, window_end):
+                    flows = by_link_step.get((link.index, t))
+                    if t < now:
+                        past = float(realized_loads[t, link.index])
+                        loads.append(model.add_variable(
+                            f"past[{link.index},{t}]", lb=past, ub=past))
+                    elif flows:
+                        load = model.add_variable(
+                            f"load[{link.index},{t}]", lb=0.0)
+                        model.add_constraint(load == quicksum(flows))
+                        loads.append(load)
+                    else:
+                        loads.append(model.add_variable(
+                            f"zero[{link.index},{t}]", lb=0.0, ub=0.0))
+                bound = add_sum_topk(model, loads, k,
+                                     name=f"z[{link.index},{window_start}]",
+                                     encoding=config.topk_encoding)
+                cost_terms.append((link.cost_per_unit / k) * bound)
+        return cost_terms
+
+
+def transmissions_now(plan: list[Transmission], now: int
+                      ) -> list[Transmission]:
+    """The subset of a SAM plan scheduled for execution at ``now``."""
+    return [tx for tx in plan if tx.timestep == now]
+
+
+def install_plan(state: NetworkState, plan: list[Transmission],
+                 now: int, active_rids: set[int] | None = None) -> None:
+    """Replace all future reservations with the SAM plan.
+
+    Reservations at timesteps > ``now`` are dropped for every active
+    request (including ones the plan no longer serves) and rewritten from
+    the plan, so subsequent price quotes see the adjusted utilisation.
+    """
+    rids = {tx.rid for tx in plan} | (active_rids or set())
+    for rid in rids:
+        state.release_future(rid, now + 1)
+    for tx in plan:
+        if tx.timestep > now:
+            state.reserve(tx.rid, tx.links, tx.timestep, tx.volume)

@@ -1,0 +1,13 @@
+"""Link-cost substrate: percentile billing and the top-k proxy."""
+
+from .models import LinkCostModel
+from .percentile import (DEFAULT_PERCENTILE, DEFAULT_TOPK_FRACTION,
+                         CorrelationResult, correlate_topk_with_percentile,
+                         percentile_usage, synthetic_link_traffic, topk_count,
+                         topk_mean)
+
+__all__ = [
+    "CorrelationResult", "DEFAULT_PERCENTILE", "DEFAULT_TOPK_FRACTION",
+    "LinkCostModel", "correlate_topk_with_percentile", "percentile_usage",
+    "synthetic_link_traffic", "topk_count", "topk_mean",
+]

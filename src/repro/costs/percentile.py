@@ -1,0 +1,119 @@
+"""Percentile usage measures and the top-k proxy (paper §4.2, Figure 5).
+
+Metered WAN links are billed on the 95th percentile of their utilisation
+over a fixed window (a day, in the paper's evaluation).  Optimising the
+95th percentile directly is NP-hard (Theorem 4.1), so Pretium substitutes
+``z_e`` — the mean of the top 10% of utilisation samples — which the paper
+shows (Figure 5) is linearly correlated with the true percentile ``y_e``
+on both the production trace and synthetic normal/exponential/pareto
+traffic.  This module computes both measures and the correlation analysis
+that validates the substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Fraction of samples averaged by the proxy (the paper's "top 10%").
+DEFAULT_TOPK_FRACTION = 0.1
+
+#: Billing percentile for metered links.
+DEFAULT_PERCENTILE = 95.0
+
+
+def topk_count(n_samples: int, fraction: float = DEFAULT_TOPK_FRACTION) -> int:
+    """Number of samples in the top ``fraction`` (at least one)."""
+    if n_samples <= 0:
+        raise ValueError("need at least one sample")
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    return max(1, int(round(fraction * n_samples)))
+
+
+def percentile_usage(samples: np.ndarray,
+                     percentile: float = DEFAULT_PERCENTILE) -> float:
+    """``y_e``: the billing percentile of one link's utilisation samples."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("samples must be a nonempty 1-D array")
+    return float(np.percentile(arr, percentile))
+
+
+def topk_mean(samples: np.ndarray,
+              fraction: float = DEFAULT_TOPK_FRACTION) -> float:
+    """``z_e``: mean of the top ``fraction`` of utilisation samples."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("samples must be a nonempty 1-D array")
+    k = topk_count(arr.size, fraction)
+    return float(np.sort(arr)[-k:].mean())
+
+
+@dataclass
+class CorrelationResult:
+    """Linear relation between ``z_e`` and ``y_e`` across links.
+
+    ``z ~= slope * y + intercept`` with Pearson correlation ``r``.
+    """
+
+    slope: float
+    intercept: float
+    r: float
+    y_values: np.ndarray
+    z_values: np.ndarray
+
+    @property
+    def r_squared(self) -> float:
+        return self.r ** 2
+
+
+def correlate_topk_with_percentile(
+        loads: np.ndarray,
+        percentile: float = DEFAULT_PERCENTILE,
+        fraction: float = DEFAULT_TOPK_FRACTION) -> CorrelationResult:
+    """Figure 5's analysis: per-link (y_e, z_e) pairs and their linear fit.
+
+    ``loads`` is (n_steps, n_links); idle links are excluded.  Raises if
+    fewer than two links carry traffic (no line to fit).
+    """
+    if loads.ndim != 2:
+        raise ValueError("loads must be (n_steps, n_links)")
+    ys, zs = [], []
+    for link in range(loads.shape[1]):
+        column = loads[:, link]
+        if column.max() <= 0:
+            continue
+        ys.append(percentile_usage(column, percentile))
+        zs.append(topk_mean(column, fraction))
+    if len(ys) < 2:
+        raise ValueError("need at least two active links to correlate")
+    y = np.asarray(ys)
+    z = np.asarray(zs)
+    slope, intercept = np.polyfit(y, z, deg=1)
+    r = float(np.corrcoef(y, z)[0, 1])
+    return CorrelationResult(float(slope), float(intercept), r, y, z)
+
+
+def synthetic_link_traffic(distribution: str, n_steps: int, n_links: int,
+                           seed: int = 0) -> np.ndarray:
+    """Model link traffic with the distributions the paper validates on.
+
+    Returns (n_steps, n_links) samples from ``normal`` (truncated at 0),
+    ``exponential`` or ``pareto`` traffic, with per-link random scales so
+    the scatter spans a range of magnitudes as in Figure 5.
+    """
+    rng = np.random.default_rng(seed)
+    scales = rng.uniform(0.5, 10.0, size=n_links)
+    if distribution == "normal":
+        samples = np.maximum(
+            rng.normal(1.0, 0.35, size=(n_steps, n_links)), 0.0)
+    elif distribution == "exponential":
+        samples = rng.exponential(1.0, size=(n_steps, n_links))
+    elif distribution == "pareto":
+        samples = rng.pareto(2.5, size=(n_steps, n_links)) + 1.0
+    else:
+        raise ValueError(f"unknown distribution {distribution!r}; expected "
+                         "normal, exponential or pareto")
+    return samples * scales[None, :]

@@ -1,0 +1,21 @@
+"""Experiments layer: scenarios, runners, per-figure generators (§6)."""
+
+from . import figures
+from .figure2 import ExampleRow, figure2_table
+from .incentives import (DEVIATIONS, DeviationOutcome, DeviationReport,
+                         deviation_study)
+from .report import format_series, format_table
+from .runner import (SCHEME_FACTORIES, make_scheme, run_scheme, run_schemes,
+                     summaries)
+from .scenarios import (DEFAULT_SEED, LOAD_FACTORS, Scenario,
+                        production_scenario, quick_scenario,
+                        standard_scenario, standard_topology)
+
+__all__ = [
+    "DEFAULT_SEED", "DEVIATIONS", "DeviationOutcome", "DeviationReport",
+    "ExampleRow", "LOAD_FACTORS", "SCHEME_FACTORIES", "Scenario",
+    "deviation_study", "figure2_table", "figures", "format_series",
+    "format_table", "make_scheme", "production_scenario", "quick_scenario",
+    "run_scheme", "run_schemes", "standard_scenario", "standard_topology",
+    "summaries",
+]

@@ -1,0 +1,170 @@
+"""Empirical strategyproofness check (paper §5, Claim 1).
+
+The paper verifies that strategic deviations rarely pay: "fewer than 26%
+of admitted requests could benefit by altering their parameters even with
+omniscient knowledge of the system state, and the average improvement
+(conditional on being able to benefit) was less than 6%".
+
+This module replays a whole workload once truthfully, then — for a sample
+of admitted requests — replays it again with one request deviating, and
+compares that user's realised utility.  Utility counts only volume
+delivered *by the true deadline* (data arriving later is worthless to the
+user) and subtracts the payment actually charged:
+
+    u_i = v_i * delivered_by(true deadline)  -  payment_i
+
+Deviations tried per request (the attack surface of Theorem 5.1):
+
+- ``later-deadline``: report a deadline ``stretch`` steps later, hoping
+  for a lower price while still being served early;
+- ``earlier-deadline``: report a tighter deadline to grab scarce early
+  capacity;
+- ``split``: break the request into two half-demand requests;
+- ``inflate-demand``: ask for more than needed (paying only for what the
+  menu serves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core import ByteRequest, PretiumController
+from ..sim import RunResult, simulate
+from ..traffic import Workload
+
+EPS = 1e-9
+
+DEVIATIONS = ("later-deadline", "earlier-deadline", "split",
+              "inflate-demand")
+
+
+@dataclass
+class DeviationOutcome:
+    """One (request, deviation) trial."""
+
+    rid: int
+    deviation: str
+    truthful_utility: float
+    deviant_utility: float
+
+    @property
+    def gain(self) -> float:
+        return self.deviant_utility - self.truthful_utility
+
+    @property
+    def beneficial(self) -> bool:
+        return self.gain > 1e-6
+
+
+@dataclass
+class DeviationReport:
+    """Aggregate over all trials (the §5 numbers)."""
+
+    outcomes: list[DeviationOutcome]
+
+    @property
+    def n_requests(self) -> int:
+        return len({o.rid for o in self.outcomes})
+
+    @property
+    def fraction_benefiting(self) -> float:
+        """Share of sampled requests with *any* profitable deviation."""
+        if not self.outcomes:
+            return 0.0
+        by_rid: dict[int, bool] = {}
+        for outcome in self.outcomes:
+            by_rid[outcome.rid] = by_rid.get(outcome.rid, False) or \
+                outcome.beneficial
+        return sum(by_rid.values()) / len(by_rid)
+
+    @property
+    def mean_relative_gain(self) -> float:
+        """Mean relative utility improvement among profitable trials."""
+        gains = [o.gain / max(abs(o.truthful_utility), 1e-6)
+                 for o in self.outcomes if o.beneficial]
+        return float(np.mean(gains)) if gains else 0.0
+
+
+def utility_in_run(result: RunResult, request: ByteRequest,
+                   rids: tuple[int, ...],
+                   true_deadline: int) -> float:
+    """The user's utility for (possibly several) submitted request ids."""
+    value = 0.0
+    paid = 0.0
+    for rid in rids:
+        value += min(result.delivered_by(rid, true_deadline),
+                     result.delivered.get(rid, 0.0))
+        paid += result.payments.get(rid, 0.0)
+    value = min(value, request.demand)  # duplicates beyond demand: no value
+    return request.value * value - paid
+
+
+def _deviant_workload(workload: Workload, request: ByteRequest,
+                      deviation: str,
+                      stretch: int) -> tuple[Workload, tuple[int, ...]]:
+    """Workload with one request altered; returns the replacement ids."""
+    horizon = workload.n_steps
+    others = [r for r in workload.requests if r.rid != request.rid]
+    if deviation == "later-deadline":
+        altered = (request.with_window(
+            request.start, min(horizon - 1, request.deadline + stretch)),)
+    elif deviation == "earlier-deadline":
+        if request.deadline == request.start:
+            return workload, ()
+        altered = (request.with_window(
+            request.start,
+            max(request.start, request.deadline - stretch)),)
+    elif deviation == "split":
+        next_rid = max(r.rid for r in workload.requests) + 1
+        half = request.demand / 2.0
+        altered = (request.with_demand(half),
+                   replace(request, rid=next_rid, demand=half))
+    elif deviation == "inflate-demand":
+        altered = (request.with_demand(request.demand * 1.5),)
+    else:
+        raise ValueError(f"unknown deviation {deviation!r}")
+    requests = sorted(others + list(altered),
+                      key=lambda r: (r.arrival, r.rid))
+    deviant = Workload(workload.topology, requests, workload.n_steps,
+                       workload.steps_per_day, workload.load_factor,
+                       workload.description + f" [{deviation}]")
+    return deviant, tuple(r.rid for r in altered)
+
+
+def deviation_study(workload: Workload, scheme_factory=PretiumController,
+                    n_samples: int = 20, stretch: int = 2,
+                    deviations=DEVIATIONS,
+                    seed: int = 0) -> DeviationReport:
+    """Run the §5 deviation experiment.
+
+    ``scheme_factory`` builds a fresh scheme per replay (state must not
+    leak between runs).  ``n_samples`` admitted requests are sampled
+    uniformly; each tries every deviation.
+    """
+    truthful = simulate(scheme_factory(), workload)
+    admitted = [r for r in workload.requests
+                if truthful.chosen.get(r.rid, 0.0) > EPS]
+    if not admitted:
+        return DeviationReport([])
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(len(admitted), size=min(n_samples, len(admitted)),
+                         replace=False)
+    outcomes = []
+    for index in sorted(int(i) for i in indices):
+        request = admitted[index]
+        base_utility = utility_in_run(truthful, request, (request.rid,),
+                                      request.deadline)
+        for deviation in deviations:
+            deviant_wl, rids = _deviant_workload(workload, request,
+                                                 deviation, stretch)
+            if not rids:
+                continue
+            deviant_run = simulate(scheme_factory(), deviant_wl)
+            utility = utility_in_run(deviant_run, request, rids,
+                                     request.deadline)
+            outcomes.append(DeviationOutcome(
+                rid=request.rid, deviation=deviation,
+                truthful_utility=base_utility, deviant_utility=utility))
+    return DeviationReport(outcomes)

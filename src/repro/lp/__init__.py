@@ -1,0 +1,23 @@
+"""Linear-programming substrate.
+
+A compact algebraic modelling layer over scipy's HiGHS solver, plus the
+top-k (percentile-cost proxy) encodings from Section 4.2 of the paper.
+This replaces the Gurobi dependency of the original Pretium implementation.
+"""
+
+from .errors import (InfeasibleError, LPError, ModelError, SolverError,
+                     UnboundedError)
+from .model import (Constraint, LinExpr, Model, Variable, quicksum,
+                    weighted_sum)
+from .solver import Solution, solve_model
+from .topk import (TOPK_ENCODINGS, add_sum_topk, add_sum_topk_cvar,
+                   add_sum_topk_sorting, sum_topk_exact,
+                   topk_constraint_count)
+
+__all__ = [
+    "Constraint", "InfeasibleError", "LPError", "LinExpr", "Model",
+    "ModelError", "Solution", "SolverError", "TOPK_ENCODINGS",
+    "UnboundedError", "Variable", "add_sum_topk", "add_sum_topk_cvar",
+    "add_sum_topk_sorting", "quicksum", "solve_model", "sum_topk_exact",
+    "topk_constraint_count", "weighted_sum",
+]

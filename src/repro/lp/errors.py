@@ -1,0 +1,31 @@
+"""Exceptions raised by the LP modelling layer.
+
+The layer distinguishes between modelling mistakes (:class:`ModelError`),
+instances that have no feasible point (:class:`InfeasibleError`), instances
+whose objective is unbounded (:class:`UnboundedError`) and backend failures
+(:class:`SolverError`).  Callers that probe feasibility — for example the
+admission interface when checking whether a guarantee can be honoured —
+catch :class:`InfeasibleError` explicitly.
+"""
+
+from __future__ import annotations
+
+
+class LPError(Exception):
+    """Base class for all errors raised by :mod:`repro.lp`."""
+
+
+class ModelError(LPError):
+    """The model is malformed (mixing models, missing objective, ...)."""
+
+
+class InfeasibleError(LPError):
+    """The linear program has no feasible solution."""
+
+
+class UnboundedError(LPError):
+    """The linear program's objective is unbounded."""
+
+
+class SolverError(LPError):
+    """The backend solver failed for a reason other than in/unboundedness."""

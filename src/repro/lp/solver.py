@@ -1,0 +1,162 @@
+"""HiGHS backend: assemble a :class:`~repro.lp.model.Model` and solve it.
+
+The assembly produces sparse ``A_ub``/``A_eq`` matrices and calls
+:func:`scipy.optimize.linprog` with ``method="highs"``.  Dual values are
+re-oriented so that callers always see them in the model's own sense (see
+:class:`Solution.dual`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .errors import InfeasibleError, ModelError, SolverError, UnboundedError
+from .model import EQ, GE, LE, Constraint, Model, Variable
+
+#: linprog status codes (scipy docs): 0 ok, 1 iteration limit, 2 infeasible,
+#: 3 unbounded, 4 numerical trouble.
+_STATUS_OK = 0
+_STATUS_INFEASIBLE = 2
+_STATUS_UNBOUNDED = 3
+
+
+class Solution:
+    """The result of solving a model.
+
+    Provides primal values (:meth:`value`), the objective in the model's own
+    orientation (:attr:`objective`) and constraint duals (:meth:`dual`).
+
+    Dual orientation
+    ----------------
+    ``dual(c)`` returns the marginal change of the *model's* objective per
+    unit increase of the constraint's right-hand side.  For a maximisation
+    with a binding capacity constraint ``flow <= cap`` this is the familiar
+    nonnegative shadow price; for equalities it may take either sign.
+    """
+
+    def __init__(self, model: Model, x: np.ndarray, objective: float,
+                 duals: np.ndarray) -> None:
+        self._model = model
+        self._x = x
+        self.objective = objective
+        self._duals = duals
+
+    def value(self, var: Variable) -> float:
+        """Primal value of ``var``."""
+        return float(self._x[var.index])
+
+    def values(self, variables) -> list[float]:
+        """Primal values for an iterable of variables (in order)."""
+        return [float(self._x[v.index]) for v in variables]
+
+    def value_of(self, expr) -> float:
+        """Evaluate a variable or linear expression at the optimum."""
+        if isinstance(expr, Variable):
+            return self.value(expr)
+        total = expr.constant
+        for idx, coeff in expr.coeffs.items():
+            total += coeff * self._x[idx]
+        return float(total)
+
+    def dual(self, constraint: Constraint) -> float:
+        """Shadow price of ``constraint`` in the model's orientation."""
+        if constraint.index is None:
+            raise ModelError("constraint was never added to the model")
+        return float(self._duals[constraint.index])
+
+    @property
+    def x(self) -> np.ndarray:
+        """Raw primal vector indexed by variable index."""
+        return self._x
+
+
+def _assemble(model: Model):
+    """Build (c, A_ub, b_ub, A_eq, b_eq, bounds, row maps) from a model."""
+    n = len(model.variables)
+    if model.objective is None:
+        raise ModelError(f"model {model.name!r} has no objective")
+
+    c = np.zeros(n)
+    for idx, coeff in model.objective.coeffs.items():
+        c[idx] = coeff
+    obj_constant = model.objective.constant
+    if model.sense == "max":
+        c = -c
+
+    ub_rows, ub_cols, ub_vals, b_ub = [], [], [], []
+    eq_rows, eq_cols, eq_vals, b_eq = [], [], [], []
+    # For each constraint: (kind, row, sign) where `sign` converts the scipy
+    # marginal into the user's dual orientation.
+    row_info: list[tuple[str, int, float]] = []
+
+    for con in model.constraints:
+        rhs = con.rhs
+        if con.sense == EQ:
+            row = len(b_eq)
+            for idx, coeff in con.expr.coeffs.items():
+                eq_rows.append(row)
+                eq_cols.append(idx)
+                eq_vals.append(coeff)
+            b_eq.append(rhs)
+            row_info.append(("eq", row, 1.0))
+        else:
+            # Normalise to <=: flip a >= constraint.
+            flip = -1.0 if con.sense == GE else 1.0
+            row = len(b_ub)
+            for idx, coeff in con.expr.coeffs.items():
+                ub_rows.append(row)
+                ub_cols.append(idx)
+                ub_vals.append(coeff * flip)
+            b_ub.append(rhs * flip)
+            row_info.append(("ub", row, flip))
+
+    A_ub = (sparse.csr_matrix((ub_vals, (ub_rows, ub_cols)), shape=(len(b_ub), n))
+            if b_ub else None)
+    A_eq = (sparse.csr_matrix((eq_vals, (eq_rows, eq_cols)), shape=(len(b_eq), n))
+            if b_eq else None)
+    bounds = [(v.lb, v.ub) for v in model.variables]
+    return c, obj_constant, A_ub, np.asarray(b_ub), A_eq, np.asarray(b_eq), \
+        bounds, row_info
+
+
+def solve_model(model: Model) -> Solution:
+    """Solve ``model`` with HiGHS and return a :class:`Solution`.
+
+    Raises
+    ------
+    InfeasibleError, UnboundedError, SolverError
+        On the corresponding solver outcomes.
+    """
+    c, obj_constant, A_ub, b_ub, A_eq, b_eq, bounds, row_info = _assemble(model)
+
+    result = linprog(c, A_ub=A_ub, b_ub=b_ub if A_ub is not None else None,
+                     A_eq=A_eq, b_eq=b_eq if A_eq is not None else None,
+                     bounds=bounds, method="highs")
+
+    if result.status == _STATUS_INFEASIBLE:
+        raise InfeasibleError(f"model {model.name!r} is infeasible")
+    if result.status == _STATUS_UNBOUNDED:
+        raise UnboundedError(f"model {model.name!r} is unbounded")
+    if result.status != _STATUS_OK:
+        raise SolverError(f"model {model.name!r}: solver failed "
+                          f"(status {result.status}: {result.message})")
+
+    # linprog minimises; flip back for a max model.
+    objective = float(result.fun) + (obj_constant if model.sense == "min" else 0.0)
+    if model.sense == "max":
+        objective = -float(result.fun) + obj_constant
+
+    # scipy marginals are d(min objective)/d(rhs).  Convert to the user's
+    # orientation: for max models d(max objective)/d(rhs) = -marginal; a
+    # flipped (>=) row additionally changes the rhs sign.
+    duals = np.zeros(len(model.constraints))
+    ub_marginals = result.ineqlin.marginals if A_ub is not None else None
+    eq_marginals = result.eqlin.marginals if A_eq is not None else None
+    sense_sign = -1.0 if model.sense == "max" else 1.0
+    for con_index, (kind, row, flip) in enumerate(row_info):
+        marginal = (ub_marginals[row] if kind == "ub" else eq_marginals[row])
+        duals[con_index] = sense_sign * flip * marginal
+
+    return Solution(model, np.asarray(result.x), objective, duals)

@@ -1,0 +1,143 @@
+"""Linear encodings of "sum of the k largest of T values".
+
+Pretium's operating cost on a metered link is proportional to the 95th
+percentile of its utilisation across a window — a non-convex quantity
+(Theorem 4.1 in the paper shows that optimising it exactly is NP-hard).
+Section 4.2 replaces it with ``z_e``: the *mean of the top 10%* of the
+utilisation samples, which is linearly correlated with the 95th percentile
+(see :mod:`repro.costs.percentile` and the Figure 5 benchmark).  The sum of
+the top-k values then has to enter a linear program as an upper bound that
+becomes tight under minimisation.  Two encodings are provided:
+
+``add_sum_topk_sorting``
+    The paper's Theorem 4.2 construction: ``k`` bubble-sort passes of linear
+    comparators, O(kT) constraints, three constraints per comparator (the
+    paper highlights that this improves on prior work's five).
+
+``add_sum_topk_cvar``
+    The classical Rockafellar–Uryasev / CVaR encoding
+    ``S >= k*eta + sum_t max(x_t - eta, 0)`` with O(T) constraints.
+
+Both yield the exact sum of the top-k at the optimum of a minimisation;
+tests and the ``bench_topk_encodings`` benchmark verify they agree.  The
+CVaR form is the default in the schedule-adjustment and pricing LPs because
+it is dramatically smaller; the sorting-network form exists for fidelity to
+the paper and is selectable through :class:`repro.core.config.PretiumConfig`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .model import LinExpr, Model, Variable, quicksum
+
+#: Selectable encodings, used by PretiumConfig.topk_encoding.
+TOPK_ENCODINGS = ("cvar", "sorting")
+
+
+def sum_topk_exact(values: Sequence[float], k: int) -> float:
+    """Exact sum of the ``k`` largest entries of ``values`` (reference)."""
+    if k <= 0:
+        return 0.0
+    arr = np.asarray(values, dtype=float)
+    k = min(k, arr.size)
+    return float(np.sort(arr)[-k:].sum())
+
+
+def add_sum_topk(model: Model, variables: Sequence[Variable], k: int,
+                 name: str = "topk", encoding: str = "cvar") -> Variable:
+    """Add an upper bound on the sum of the top-``k`` of ``variables``.
+
+    Returns a variable ``S`` such that at any feasible point
+    ``S >= sum of the k largest variable values``, with equality at the
+    optimum whenever ``S`` carries a positive cost in a minimisation (or is
+    subtracted in a maximisation).
+    """
+    if encoding == "cvar":
+        return add_sum_topk_cvar(model, variables, k, name)
+    if encoding == "sorting":
+        return add_sum_topk_sorting(model, variables, k, name)
+    raise ValueError(f"unknown top-k encoding {encoding!r}; "
+                     f"expected one of {TOPK_ENCODINGS}")
+
+
+def add_sum_topk_cvar(model: Model, variables: Sequence[Variable], k: int,
+                      name: str = "topk") -> Variable:
+    """CVaR encoding: ``S >= k*eta + sum_t u_t``, ``u_t >= x_t - eta``.
+
+    ``eta`` plays the role of the k-th largest value.  Uses ``T + 2``
+    auxiliary variables and ``T + 1`` constraints.
+    """
+    T = len(variables)
+    if not 0 < k <= T:
+        raise ValueError(f"k must be in 1..{T}, got {k}")
+    # Utilisations are nonnegative, so eta's optimum (the k-th largest value)
+    # is nonnegative and lb=0 is harmless.
+    eta = model.add_variable(f"{name}.eta", lb=0.0)
+    excesses = [model.add_variable(f"{name}.u[{t}]", lb=0.0) for t in range(T)]
+    for var, excess in zip(variables, excesses):
+        model.add_constraint(excess >= var - eta, name=f"{name}.exc")
+    total = model.add_variable(f"{name}.S", lb=0.0)
+    model.add_constraint(total >= float(k) * eta + quicksum(excesses),
+                         name=f"{name}.bound")
+    return total
+
+
+def add_sum_topk_sorting(model: Model, variables: Sequence[Variable], k: int,
+                         name: str = "topk") -> Variable:
+    """The paper's Theorem 4.2 bubble-pass comparator network.
+
+    Pass ``i`` (``i = 1..k``) sweeps ``T - i + 1`` values through linear
+    comparators.  A comparator on inputs ``(a, b)`` introduces outputs
+    ``(m, M)`` with::
+
+        a + b == m + M,    m <= a,    m <= b
+
+    which forces ``M >= max(a, b)`` and ``m <= min(a, b)``.  The running
+    maximum is threaded through the pass (exactly as bubble sort bubbles the
+    largest element to the end); the pass's final maximum ``F_i`` is one of
+    the k largest.  The returned variable satisfies
+    ``S >= F_1 + ... + F_k >= sum of top-k``.
+    """
+    T = len(variables)
+    if not 0 < k <= T:
+        raise ValueError(f"k must be in 1..{T}, got {k}")
+    if k == T:
+        total = model.add_variable(f"{name}.S", lb=0.0)
+        model.add_constraint(total >= quicksum(variables), name=f"{name}.bound")
+        return total
+
+    current: list = list(variables)
+    pass_maxima = []
+    for i in range(k):
+        next_values = []
+        running_max = current[0]
+        for j in range(1, len(current)):
+            incoming = current[j]
+            low = model.add_variable(f"{name}.m[{i}][{j}]", lb=0.0)
+            high = model.add_variable(f"{name}.M[{i}][{j}]", lb=0.0)
+            model.add_constraint(running_max + incoming == low + high,
+                                 name=f"{name}.sum")
+            model.add_constraint(low <= running_max, name=f"{name}.le1")
+            model.add_constraint(low <= incoming, name=f"{name}.le2")
+            next_values.append(low)
+            running_max = high
+        pass_maxima.append(running_max)
+        current = next_values
+    total = model.add_variable(f"{name}.S", lb=0.0)
+    model.add_constraint(total >= quicksum(pass_maxima), name=f"{name}.bound")
+    return total
+
+
+def topk_constraint_count(T: int, k: int, encoding: str) -> int:
+    """Number of constraints each encoding adds (for the ablation bench)."""
+    if encoding == "cvar":
+        return T + 1
+    if encoding == "sorting":
+        if k >= T:
+            return 1
+        comparators = sum(T - i - 1 for i in range(k))
+        return 3 * comparators + 1
+    raise ValueError(f"unknown encoding {encoding!r}")

@@ -1,0 +1,124 @@
+"""Admissible routes.
+
+Each request can be served along a set of admissible paths ``R_i``
+(paper §3.1).  As in the production systems the paper builds on (SWAN, B4,
+Tempus), we precompute a small number of shortest simple paths per
+datacenter pair and use those as the admissible set everywhere: the
+admission interface prices over them, and the schedule adjuster re-routes
+over them.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+import networkx as nx
+
+from .topology import Link, Topology
+
+
+class Path:
+    """A simple directed path, stored as the sequence of links it uses."""
+
+    __slots__ = ("links", "nodes")
+
+    def __init__(self, links: tuple[Link, ...]) -> None:
+        if not links:
+            raise ValueError("a path needs at least one link")
+        for first, second in zip(links, links[1:]):
+            if first.dst != second.src:
+                raise ValueError(
+                    f"links do not chain: {first.dst} != {second.src}")
+        self.links = links
+        self.nodes = (links[0].src,) + tuple(link.dst for link in links)
+
+    @property
+    def src(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def dst(self) -> str:
+        return self.nodes[-1]
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.links)
+
+    def link_indices(self) -> tuple[int, ...]:
+        """Dense link ids along the path (for utilisation updates)."""
+        return tuple(link.index for link in self.links)
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    def __iter__(self):
+        return iter(self.links)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Path) and self.link_indices() == \
+            other.link_indices()
+
+    def __hash__(self) -> int:
+        return hash(self.link_indices())
+
+    def __repr__(self) -> str:
+        return "Path(" + "->".join(self.nodes) + ")"
+
+
+def k_shortest_paths(topology: Topology, src: str, dst: str,
+                     k: int = 3) -> list[Path]:
+    """Up to ``k`` shortest (fewest-hop) simple paths from src to dst.
+
+    Returns fewer than ``k`` paths when the graph does not contain that
+    many, and an empty list when ``dst`` is unreachable.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if src not in topology or dst not in topology:
+        raise KeyError(f"unknown endpoint in {src}->{dst}")
+    if src == dst:
+        raise ValueError("src and dst must differ")
+    graph = topology.to_networkx()
+    try:
+        node_paths = list(islice(
+            nx.shortest_simple_paths(graph, src, dst), k))
+    except nx.NetworkXNoPath:
+        return []
+    paths = []
+    for node_path in node_paths:
+        links = tuple(topology.link_between(u, v)
+                      for u, v in zip(node_path, node_path[1:]))
+        paths.append(Path(links))
+    return paths
+
+
+class PathCache:
+    """Memoised admissible-route sets per (src, dst) pair.
+
+    The cache is shared by the admission interface, the schedule adjuster
+    and every baseline so that all schemes optimise over the same route
+    sets (as in the paper's evaluation).
+    """
+
+    def __init__(self, topology: Topology, k: int = 3) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.topology = topology
+        self.k = k
+        self._cache: dict[tuple[str, str], list[Path]] = {}
+
+    def routes(self, src: str, dst: str) -> list[Path]:
+        """Admissible routes for the pair, computing them on first use."""
+        key = (src, dst)
+        if key not in self._cache:
+            self._cache[key] = k_shortest_paths(self.topology, src, dst,
+                                                self.k)
+        return list(self._cache[key])
+
+    def warm(self, pairs) -> None:
+        """Precompute routes for an iterable of (src, dst) pairs."""
+        for src, dst in pairs:
+            self.routes(src, dst)
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,11 @@
+"""Simulation engine, metrics and run artifacts."""
+
+from . import metrics
+from .engine import (CAPACITY_SLACK, CapacityViolation, ModuleRuntimes,
+                     RunResult, simulate)
+from .recorder import load_summary, save_summary, summarize
+
+__all__ = [
+    "CAPACITY_SLACK", "CapacityViolation", "ModuleRuntimes", "RunResult",
+    "load_summary", "metrics", "save_summary", "simulate", "summarize",
+]

@@ -1,0 +1,190 @@
+"""Online discrete-time simulation engine (paper §6.1 methodology).
+
+The engine replays a :class:`~repro.traffic.workload.Workload` against an
+*online scheme* — any object with the protocol:
+
+- ``begin(workload)``: reset state for a run;
+- ``window_start(t)``: called at every timestep before arrivals (schemes
+  decide themselves whether ``t`` is a window boundary);
+- ``arrival(request, t)``: called once per request at its arrival step;
+- ``step(t, delivered, loads)``: returns the
+  :class:`~repro.core.sam.Transmission` list to execute at ``t``;
+- optional ``contracts``: admitted :class:`~repro.core.admission.Contract`
+  objects, used for settlement.
+
+The engine owns the ground truth: realised per-(timestep, link) loads,
+per-request delivered volume, and — at the end — payments.  It enforces
+capacity feasibility on every step and records per-module wall-clock
+runtimes (Table 4).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.admission import EPS
+from ..traffic.workload import Workload
+
+#: Relative capacity tolerance: LP solutions may overshoot by solver
+#: tolerance; anything past this is a scheme bug and raises.
+CAPACITY_SLACK = 1e-6
+
+
+class CapacityViolation(RuntimeError):
+    """A scheme scheduled more volume than a link can carry."""
+
+
+@dataclass
+class RunResult:
+    """Everything a metric needs about one simulation run."""
+
+    workload: Workload
+    scheme_name: str
+    loads: np.ndarray
+    delivered: dict[int, float]
+    payments: dict[int, float]
+    chosen: dict[int, float]
+    extras: dict = field(default_factory=dict)
+    #: rid -> [(timestep, volume)] in execution order; lets analyses ask
+    #: "how much had been delivered by step T" (the §5 deviation study).
+    delivery_log: dict[int, list[tuple[int, float]]] = field(
+        default_factory=dict)
+
+    def delivered_by(self, rid: int, deadline: int) -> float:
+        """Volume delivered to ``rid`` at timesteps <= ``deadline``."""
+        return sum(volume for t, volume in self.delivery_log.get(rid, [])
+                   if t <= deadline)
+
+    def request_by_id(self, rid: int):
+        for request in self.workload.requests:
+            if request.rid == rid:
+                return request
+        raise KeyError(rid)
+
+    @property
+    def total_delivered(self) -> float:
+        return sum(self.delivered.values())
+
+    @property
+    def total_payments(self) -> float:
+        return sum(self.payments.values())
+
+
+@dataclass
+class ModuleRuntimes:
+    """Wall-clock samples per Pretium module (Table 4)."""
+
+    ra: list[float] = field(default_factory=list)
+    sam: list[float] = field(default_factory=list)
+    pc: list[float] = field(default_factory=list)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Median and 95th percentile per module, in seconds."""
+        out = {}
+        for label, samples in (("RA", self.ra), ("SAM", self.sam),
+                               ("PC", self.pc)):
+            if samples:
+                arr = np.asarray(samples)
+                out[label] = {"median": float(np.median(arr)),
+                              "p95": float(np.percentile(arr, 95)),
+                              "count": len(samples)}
+        return out
+
+
+def simulate(scheme, workload: Workload) -> RunResult:
+    """Run ``scheme`` online over ``workload`` and settle payments."""
+    scheme.begin(workload)
+    n_links = workload.topology.num_links
+    loads = np.zeros((workload.n_steps, n_links))
+    delivered: dict[int, float] = defaultdict(float)
+    runtimes = ModuleRuntimes()
+
+    delivery_log: dict[int, list[tuple[int, float]]] = defaultdict(list)
+
+    arrivals: dict[int, list] = defaultdict(list)
+    for request in workload.requests:
+        arrivals[request.arrival].append(request)
+
+    capacity = _capacity_view(scheme, workload)
+
+    for t in range(workload.n_steps):
+        started = time.perf_counter()
+        scheme.window_start(t)
+        elapsed = time.perf_counter() - started
+        if elapsed > 0 and t % _window_of(scheme, workload) == 0:
+            runtimes.pc.append(elapsed)
+
+        for request in arrivals.get(t, []):
+            started = time.perf_counter()
+            scheme.arrival(request, t)
+            runtimes.ra.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        transmissions = scheme.step(t, dict(delivered), loads)
+        runtimes.sam.append(time.perf_counter() - started)
+
+        _apply(transmissions, t, loads, delivered, capacity, delivery_log)
+
+    payments = _settle(scheme, delivered)
+    chosen = {c.rid: c.chosen for c in getattr(scheme, "contracts", [])}
+
+    extras = {"runtimes": runtimes}
+    state = getattr(scheme, "state", None)
+    if state is not None:
+        extras["prices"] = state.prices.copy()
+    return RunResult(workload=workload,
+                     scheme_name=getattr(scheme, "name", type(scheme).__name__),
+                     loads=loads, delivered=dict(delivered),
+                     payments=payments, chosen=chosen, extras=extras,
+                     delivery_log=dict(delivery_log))
+
+
+def _window_of(scheme, workload: Workload) -> int:
+    config = getattr(scheme, "config", None)
+    return getattr(config, "window", workload.steps_per_day) or \
+        workload.steps_per_day
+
+
+def _capacity_view(scheme, workload: Workload) -> np.ndarray:
+    """Per-(t, link) usable capacity to validate transmissions against."""
+    state = getattr(scheme, "state", None)
+    if state is not None:
+        return state.capacity
+    caps = np.array([link.capacity for link in workload.topology.links])
+    return np.tile(caps, (workload.n_steps, 1))
+
+
+def _apply(transmissions, t: int, loads: np.ndarray,
+           delivered: dict[int, float], capacity: np.ndarray,
+           delivery_log: dict[int, list[tuple[int, float]]]) -> None:
+    """Execute one step's transmissions, enforcing link capacities."""
+    for tx in transmissions:
+        if tx.timestep != t:
+            raise CapacityViolation(
+                f"transmission for step {tx.timestep} executed at {t}")
+        if tx.volume <= EPS:
+            continue
+        for index in tx.links:
+            new_load = loads[t, index] + tx.volume
+            cap = capacity[t, index]
+            if new_load > cap * (1.0 + CAPACITY_SLACK) + 1e-7:
+                raise CapacityViolation(
+                    f"link {index} at t={t}: load {new_load:.6f} exceeds "
+                    f"capacity {cap:.6f}")
+        for index in tx.links:
+            loads[t, index] += tx.volume
+        delivered[tx.rid] += tx.volume
+        delivery_log[tx.rid].append((t, tx.volume))
+
+
+def _settle(scheme, delivered: dict[int, float]) -> dict[int, float]:
+    """Charge each contract for what was actually delivered."""
+    payments: dict[int, float] = {}
+    for contract in getattr(scheme, "contracts", []):
+        payments[contract.rid] = contract.payment_for(
+            delivered.get(contract.rid, 0.0))
+    return payments

@@ -1,0 +1,145 @@
+"""Evaluation metrics (paper §6.1 "Metrics").
+
+All schemes — online and offline — are scored on the same ground truth:
+
+- **social welfare** (Equation 1): total value of delivered volume minus
+  the provider's *true* (95th-percentile) operating cost;
+- **profit**: payments collected minus true cost;
+- **completion**: fraction of requests fully served;
+- link-utilisation percentiles (Figure 10) and the Figure 7 breakdowns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..costs import LinkCostModel
+from .engine import RunResult
+
+EPS = 1e-9
+
+
+def total_value(result: RunResult) -> float:
+    """Sum over requests of ``v_i * delivered_i`` (linear utilities)."""
+    value = 0.0
+    for request in result.workload.requests:
+        served = result.delivered.get(request.rid, 0.0)
+        value += request.value * min(served, request.demand)
+    return value
+
+
+def welfare(result: RunResult, cost_model: LinkCostModel) -> float:
+    """Equation 1: total value minus true percentile cost."""
+    return total_value(result) - cost_model.true_cost(result.loads)
+
+
+def profit(result: RunResult, cost_model: LinkCostModel) -> float:
+    """Provider profit: payments minus true percentile cost."""
+    return result.total_payments - cost_model.true_cost(result.loads)
+
+
+def user_surplus(result: RunResult) -> float:
+    """Aggregate customer utility: value delivered minus payments."""
+    return total_value(result) - result.total_payments
+
+
+def completion_fraction(result: RunResult, relative_to: str = "demand",
+                        tolerance: float = 1e-6) -> float:
+    """Fraction of requests fully served.
+
+    ``relative_to="demand"`` counts a request complete when its original
+    demand was delivered (the paper's request-completion metric);
+    ``"chosen"`` compares against the volume actually purchased, counting
+    only admitted requests.
+    """
+    if relative_to not in ("demand", "chosen"):
+        raise ValueError("relative_to must be 'demand' or 'chosen'")
+    finished = 0
+    considered = 0
+    for request in result.workload.requests:
+        if relative_to == "demand":
+            target = request.demand
+        else:
+            target = result.chosen.get(request.rid, 0.0)
+            if target <= EPS:
+                continue
+        considered += 1
+        if result.delivered.get(request.rid, 0.0) >= target * (1 - tolerance):
+            finished += 1
+    return finished / considered if considered else 0.0
+
+
+def link_utilization_percentiles(result: RunResult,
+                                 percentile: float = 90.0) -> np.ndarray:
+    """Per-link utilisation percentile over time, as a capacity fraction.
+
+    Figure 10 plots the CDF of this across links.  Idle links are kept
+    (they genuinely have zero utilisation under a scheme).
+    """
+    caps = np.array([link.capacity
+                     for link in result.workload.topology.links])
+    utilization = result.loads / caps[None, :]
+    return np.percentile(utilization, percentile, axis=0)
+
+
+def value_by_bucket(result: RunResult, bin_edges) -> tuple[np.ndarray,
+                                                           np.ndarray]:
+    """Total delivered value binned by the request's value-per-byte.
+
+    Figure 7b: how much value each scheme captures from cheap vs
+    expensive requests.  Returns (bin_edges, per-bin value).
+    """
+    edges = np.asarray(bin_edges, dtype=float)
+    if edges.ndim != 1 or len(edges) < 2:
+        raise ValueError("need at least two bin edges")
+    totals = np.zeros(len(edges) - 1)
+    for request in result.workload.requests:
+        served = min(result.delivered.get(request.rid, 0.0), request.demand)
+        if served <= EPS:
+            continue
+        index = int(np.clip(np.searchsorted(edges, request.value,
+                                            side="right") - 1,
+                            0, len(totals) - 1))
+        totals[index] += request.value * served
+    return edges, totals
+
+
+def admission_price_points(result: RunResult) -> list[tuple[float, float]]:
+    """(value per byte, realised price per byte) per served request.
+
+    Figure 7c: the price at which each request was admitted, against its
+    private value.  Requests with nothing delivered are skipped.
+    """
+    points = []
+    for request in result.workload.requests:
+        served = result.delivered.get(request.rid, 0.0)
+        if served <= EPS:
+            continue
+        paid = result.payments.get(request.rid, 0.0)
+        points.append((request.value, paid / served))
+    return points
+
+
+def admitted_fraction(result: RunResult) -> float:
+    """Share of requests that purchased a positive volume."""
+    if not result.workload.requests:
+        return 0.0
+    admitted = sum(1 for request in result.workload.requests
+                   if result.chosen.get(request.rid, 0.0) > EPS)
+    return admitted / len(result.workload.requests)
+
+
+def relative(value: float, reference: float) -> float:
+    """``value / reference`` guarded against a ~zero reference."""
+    if abs(reference) < EPS:
+        return float("inf") if abs(value) > EPS else 1.0
+    return value / reference
+
+
+def cdf_points(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted samples and cumulative fractions — ready to print as a CDF."""
+    arr = np.sort(np.asarray(samples, dtype=float))
+    if arr.size == 0:
+        return arr, arr
+    fractions = np.arange(1, arr.size + 1) / arr.size
+    return arr, fractions

@@ -1,0 +1,61 @@
+"""Run artifacts: summarise and serialise simulation results.
+
+Keeps experiment outputs reproducible and diffable: a
+:func:`summarize` dictionary per run (JSON-serialisable) and helpers to
+dump/load them.  Benchmarks print these summaries; EXPERIMENTS.md records
+them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..costs import LinkCostModel
+from . import metrics
+from .engine import RunResult
+
+
+def summarize(result: RunResult, cost_model: LinkCostModel) -> dict:
+    """One JSON-friendly record with every headline metric."""
+    runtimes = result.extras.get("runtimes")
+    record = {
+        "scheme": result.scheme_name,
+        "workload": result.workload.description,
+        "n_requests": result.workload.n_requests,
+        "load_factor": result.workload.load_factor,
+        "total_value": metrics.total_value(result),
+        "true_cost": cost_model.true_cost(result.loads),
+        "welfare": metrics.welfare(result, cost_model),
+        "profit": metrics.profit(result, cost_model),
+        "user_surplus": metrics.user_surplus(result),
+        "payments": result.total_payments,
+        "delivered": result.total_delivered,
+        "completion_demand": metrics.completion_fraction(result, "demand"),
+        "completion_chosen": metrics.completion_fraction(result, "chosen"),
+        "admitted_fraction": metrics.admitted_fraction(result),
+    }
+    if runtimes is not None and hasattr(runtimes, "summary"):
+        record["runtimes"] = runtimes.summary()
+    return record
+
+
+def save_summary(record: dict, path: str | Path) -> None:
+    """Write a summary (or a list of them) as pretty JSON."""
+    Path(path).write_text(json.dumps(record, indent=2, sort_keys=True,
+                                     default=_coerce))
+
+
+def load_summary(path: str | Path) -> dict:
+    """Read a summary written by :func:`save_summary`."""
+    return json.loads(Path(path).read_text())
+
+
+def _coerce(obj):
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"cannot serialise {type(obj).__name__}")

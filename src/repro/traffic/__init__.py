@@ -1,0 +1,30 @@
+"""Traffic substrate: diurnal profiles, TM series, request synthesis."""
+
+from .diurnal import DiurnalProfile, flat_profile, region_profiles
+from .matrices import (FlashCrowd, TrafficMatrixSeries, gravity_weights,
+                       synthesize_tm_series)
+from .requests import (RequestParameters, synthesize_requests, total_demand)
+from .routing import (route_series_on_shortest_paths,
+                      utilization_percentile_ratios)
+from .trace import (load_series, load_workload, save_series, save_workload,
+                    series_from_dict, series_to_dict, topology_from_dict,
+                    topology_to_dict, workload_from_dict, workload_to_dict)
+from .values import (VALUE_FLOOR, ExponentialValues, FixedValues,
+                     NormalValues, ParetoValues, UniformValues,
+                     ValueDistribution, normal_with_ratio, pareto_with_ratio)
+from .workload import Workload, build_workload, calibrate_tm
+
+__all__ = [
+    "DiurnalProfile", "ExponentialValues", "FixedValues", "FlashCrowd",
+    "NormalValues", "ParetoValues", "RequestParameters",
+    "TrafficMatrixSeries", "UniformValues", "VALUE_FLOOR",
+    "ValueDistribution", "Workload", "build_workload", "calibrate_tm",
+    "flat_profile", "gravity_weights", "load_series", "load_workload",
+    "normal_with_ratio", "pareto_with_ratio", "region_profiles",
+    "save_series", "save_workload", "series_from_dict", "series_to_dict",
+    "topology_from_dict", "topology_to_dict", "workload_from_dict",
+    "workload_to_dict",
+    "route_series_on_shortest_paths", "synthesize_requests",
+    "synthesize_tm_series", "total_demand",
+    "utilization_percentile_ratios",
+]

@@ -1,0 +1,103 @@
+"""Tests for the link cost model (true vs proxy billing)."""
+
+import numpy as np
+import pytest
+
+from repro.costs import LinkCostModel
+from repro.network import Topology, line_network
+
+
+def metered_line() -> Topology:
+    t = Topology()
+    t.add_link("a", "b", 10.0, metered=True, cost_per_unit=2.0)
+    t.add_link("b", "c", 10.0)  # owned, free
+    return t
+
+
+def test_true_cost_single_window():
+    topo = metered_line()
+    model = LinkCostModel(topo, billing_window=10)
+    loads = np.zeros((10, 2))
+    loads[:, 0] = np.arange(10.0)
+    loads[:, 1] = 100.0  # owned link: must not matter
+    expected = 2.0 * np.percentile(np.arange(10.0), 95)
+    assert model.true_cost(loads) == pytest.approx(expected)
+
+
+def test_proxy_cost_single_window():
+    topo = metered_line()
+    model = LinkCostModel(topo, billing_window=10)
+    loads = np.zeros((10, 2))
+    loads[:, 0] = np.arange(10.0)
+    # top 10% of 10 samples = 1 sample = max = 9
+    assert model.proxy_cost(loads) == pytest.approx(2.0 * 9.0)
+
+
+def test_multiple_billing_windows_summed():
+    topo = metered_line()
+    model = LinkCostModel(topo, billing_window=5)
+    loads = np.zeros((10, 2))
+    loads[:5, 0] = 4.0
+    loads[5:, 0] = 8.0
+    assert model.true_cost(loads) == pytest.approx(2.0 * (4.0 + 8.0))
+
+
+def test_partial_final_window():
+    topo = metered_line()
+    model = LinkCostModel(topo, billing_window=8)
+    loads = np.ones((10, 2)) * 3.0
+    # windows [0:8] and [8:10], both constant 3 -> percentile 3 each
+    assert model.true_cost(loads) == pytest.approx(2.0 * 3.0 * 2)
+
+
+def test_no_metered_links_zero_cost():
+    topo = line_network(3)
+    model = LinkCostModel(topo, billing_window=5)
+    loads = np.ones((10, topo.num_links)) * 7.0
+    assert model.true_cost(loads) == 0.0
+    assert model.proxy_cost(loads) == 0.0
+    assert not model.has_metered_links()
+
+
+def test_per_link_breakdown():
+    topo = Topology()
+    topo.add_link("a", "b", 10.0, metered=True, cost_per_unit=1.0)
+    topo.add_link("b", "c", 10.0, metered=True, cost_per_unit=3.0)
+    model = LinkCostModel(topo, billing_window=10)
+    loads = np.zeros((10, 2))
+    loads[:, 0] = 2.0
+    loads[:, 1] = 5.0
+    breakdown = model.per_link_true_cost(loads)
+    assert breakdown[0] == pytest.approx(2.0)
+    assert breakdown[1] == pytest.approx(15.0)
+    assert model.true_cost(loads) == pytest.approx(sum(breakdown.values()))
+
+
+def test_proxy_upper_bounds_true_cost():
+    """z_e is positively biased over y_e, so proxy >= true billing."""
+    rng = np.random.default_rng(0)
+    topo = metered_line()
+    model = LinkCostModel(topo, billing_window=24)
+    loads = np.zeros((48, 2))
+    loads[:, 0] = rng.exponential(5.0, size=48)
+    assert model.proxy_cost(loads) >= model.true_cost(loads) - 1e-9
+
+
+def test_validation():
+    topo = metered_line()
+    with pytest.raises(ValueError):
+        LinkCostModel(topo, billing_window=0)
+    with pytest.raises(ValueError):
+        LinkCostModel(topo, billing_window=5, percentile=150)
+    with pytest.raises(ValueError):
+        LinkCostModel(topo, billing_window=5, topk_fraction=0.0)
+    model = LinkCostModel(topo, billing_window=5)
+    with pytest.raises(ValueError):
+        model.true_cost(np.zeros((10, 5)))
+    with pytest.raises(ValueError):
+        model.proxy_cost(np.zeros(10))
+
+
+def test_repr():
+    model = LinkCostModel(metered_line(), billing_window=5)
+    assert "metered" in repr(model)

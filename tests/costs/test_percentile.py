@@ -1,0 +1,109 @@
+"""Tests for percentile measures and the Figure 5 correlation analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs import (correlate_topk_with_percentile, percentile_usage,
+                         synthetic_link_traffic, topk_count, topk_mean)
+
+
+def test_topk_count():
+    assert topk_count(30, 0.1) == 3
+    assert topk_count(5, 0.1) == 1  # at least one
+    assert topk_count(100, 0.25) == 25
+    with pytest.raises(ValueError):
+        topk_count(0, 0.1)
+    with pytest.raises(ValueError):
+        topk_count(10, 0.0)
+    with pytest.raises(ValueError):
+        topk_count(10, 1.5)
+
+
+def test_percentile_usage_matches_numpy():
+    samples = np.arange(100.0)
+    assert percentile_usage(samples, 95) == pytest.approx(
+        np.percentile(samples, 95))
+    with pytest.raises(ValueError):
+        percentile_usage(np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        percentile_usage(np.array([]))
+
+
+def test_topk_mean_paper_example():
+    """The paper's example: 30 steps, top usage on steps 7, 13, 26."""
+    samples = np.ones(30)
+    samples[7], samples[13], samples[26] = 10.0, 12.0, 11.0
+    assert topk_mean(samples, 0.1) == pytest.approx((10 + 12 + 11) / 3)
+
+
+def test_topk_mean_validation():
+    with pytest.raises(ValueError):
+        topk_mean(np.array([]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1000), min_size=2,
+                max_size=60))
+def test_topk_mean_upper_bounds_percentile(samples):
+    """z_e >= y_95 whenever k <= 5% of samples... in general z_e is
+    positively biased over the percentile (paper's claim) when the top-10%
+    mean covers at most the top 10% tail."""
+    arr = np.array(samples)
+    z = topk_mean(arr, 0.1)
+    y90 = percentile_usage(arr, 90)
+    assert z >= y90 - 1e-9
+
+
+@pytest.mark.parametrize("dist", ["normal", "exponential", "pareto"])
+def test_figure5_linear_correlation(dist):
+    """z_e and y_e are strongly linearly correlated for all three
+    synthetic distributions the paper validates on."""
+    loads = synthetic_link_traffic(dist, n_steps=24 * 7, n_links=60, seed=1)
+    result = correlate_topk_with_percentile(loads)
+    assert result.r > 0.9
+    assert result.slope > 0
+    assert result.r_squared > 0.8
+    assert len(result.y_values) == 60
+
+
+def test_correlation_excludes_idle_links():
+    loads = synthetic_link_traffic("normal", 100, 5, seed=0)
+    loads[:, 2] = 0.0
+    result = correlate_topk_with_percentile(loads)
+    assert len(result.y_values) == 4
+
+
+def test_correlation_validation():
+    with pytest.raises(ValueError):
+        correlate_topk_with_percentile(np.zeros(10))
+    with pytest.raises(ValueError):
+        correlate_topk_with_percentile(np.zeros((10, 3)))
+
+
+def test_synthetic_traffic_validation():
+    with pytest.raises(ValueError):
+        synthetic_link_traffic("weibull", 10, 5)
+
+
+def test_synthetic_traffic_nonneg_and_shape():
+    for dist in ("normal", "exponential", "pareto"):
+        loads = synthetic_link_traffic(dist, 50, 7, seed=2)
+        assert loads.shape == (50, 7)
+        assert np.all(loads >= 0)
+
+
+def test_pareto_bias_larger_than_normal():
+    """The z/y gap is wider for heavy-tailed traffic (paper: 'the bias
+    will be more significant for heavy-tailed traffic distributions')."""
+    def mean_relative_gap(dist):
+        loads = synthetic_link_traffic(dist, 24 * 14, 40, seed=3)
+        gaps = []
+        for link in range(loads.shape[1]):
+            y = percentile_usage(loads[:, link])
+            z = topk_mean(loads[:, link])
+            gaps.append((z - y) / max(y, 1e-9))
+        return np.mean(gaps)
+
+    assert mean_relative_gap("pareto") > mean_relative_gap("normal")

@@ -1,0 +1,141 @@
+"""Tests for the sum-of-top-k encodings (paper Theorem 4.2 + CVaR)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import (Model, add_sum_topk, add_sum_topk_cvar,
+                      add_sum_topk_sorting, quicksum, sum_topk_exact,
+                      topk_constraint_count)
+
+
+def _solve_topk(values, k, encoding):
+    """Pin x_t == values and minimise the bound variable S."""
+    m = Model(sense="min")
+    xs = [m.add_variable(f"x{t}") for t in range(len(values))]
+    for x, val in zip(xs, values):
+        m.add_constraint(x == float(val))
+    total = add_sum_topk(m, xs, k, encoding=encoding)
+    m.set_objective(total.to_expr())
+    return m.solve().objective
+
+
+def test_sum_topk_exact_reference():
+    assert sum_topk_exact([5, 1, 4, 2], 2) == 9
+    assert sum_topk_exact([5, 1, 4, 2], 4) == 12
+    assert sum_topk_exact([5, 1], 10) == 6
+    assert sum_topk_exact([5, 1], 0) == 0
+
+
+@pytest.mark.parametrize("encoding", ["cvar", "sorting"])
+@pytest.mark.parametrize("values,k", [
+    ([3.0, 1.0, 2.0], 1),
+    ([3.0, 1.0, 2.0], 2),
+    ([3.0, 1.0, 2.0], 3),
+    ([0.0, 0.0, 0.0, 0.0], 2),
+    ([10.0, 10.0, 10.0], 2),
+    ([7.5, 1.25, 9.0, 3.0, 2.0, 8.0], 3),
+])
+def test_topk_matches_exact(encoding, values, k):
+    got = _solve_topk(values, k, encoding)
+    assert got == pytest.approx(sum_topk_exact(values, k), abs=1e-7)
+
+
+@pytest.mark.parametrize("encoding", ["cvar", "sorting"])
+def test_topk_single_element(encoding):
+    assert _solve_topk([4.2], 1, encoding) == pytest.approx(4.2)
+
+
+def test_unknown_encoding_rejected():
+    m = Model()
+    xs = m.add_variables(3)
+    with pytest.raises(ValueError):
+        add_sum_topk(m, xs, 1, encoding="quantum")
+
+
+@pytest.mark.parametrize("encoding", ["cvar", "sorting"])
+def test_bad_k_rejected(encoding):
+    m = Model()
+    xs = m.add_variables(3)
+    with pytest.raises(ValueError):
+        add_sum_topk(m, xs, 0, encoding=encoding)
+    with pytest.raises(ValueError):
+        add_sum_topk(m, xs, 4, encoding=encoding)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=10),
+    k_frac=st.floats(min_value=0.01, max_value=1.0),
+)
+def test_cvar_equals_exact_property(values, k_frac):
+    k = max(1, int(round(k_frac * len(values))))
+    k = min(k, len(values))
+    got = _solve_topk(values, k, "cvar")
+    assert got == pytest.approx(sum_topk_exact(values, k), abs=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=0.0, max_value=50.0),
+                    min_size=2, max_size=7),
+    k=st.integers(min_value=1, max_value=3),
+)
+def test_sorting_equals_exact_property(values, k):
+    k = min(k, len(values))
+    got = _solve_topk(values, k, "sorting")
+    assert got == pytest.approx(sum_topk_exact(values, k), abs=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=500))
+def test_encodings_agree_inside_optimisation(seed):
+    """Both encodings must give the same optimum when x is a real decision.
+
+    min sum(x) + S(topk of x) subject to sum(x) >= B, x_t <= cap_t: the two
+    encodings are both tight at the optimum, so the objectives coincide.
+    """
+    rng = np.random.default_rng(seed)
+    T = int(rng.integers(3, 7))
+    k = int(rng.integers(1, T))
+    caps = rng.uniform(1.0, 5.0, size=T)
+    budget = float(caps.sum() * 0.7)
+
+    results = {}
+    for encoding in ("cvar", "sorting"):
+        m = Model(sense="min")
+        xs = [m.add_variable(f"x{t}", ub=float(caps[t])) for t in range(T)]
+        m.add_constraint(quicksum(xs) >= budget)
+        total = add_sum_topk(m, xs, k, encoding=encoding)
+        m.set_objective(quicksum(xs) + 2.0 * total)
+        results[encoding] = m.solve().objective
+    assert results["cvar"] == pytest.approx(results["sorting"], rel=1e-6)
+
+
+def test_constraint_counts():
+    assert topk_constraint_count(10, 1, "cvar") == 11
+    # k passes of bubble comparators: sum_{i=0}^{k-1} (T - i - 1) comparators.
+    assert topk_constraint_count(10, 2, "sorting") == 3 * (9 + 8) + 1
+    assert topk_constraint_count(5, 5, "sorting") == 1
+    with pytest.raises(ValueError):
+        topk_constraint_count(10, 2, "bogus")
+
+
+def test_sorting_uses_three_constraints_per_comparator():
+    """The paper claims 40% fewer constraints than prior work's five."""
+    T, k = 8, 2
+    m = Model(sense="min")
+    xs = m.add_variables(T)
+    before = len(m.constraints)
+    add_sum_topk_sorting(m, xs, k)
+    added = len(m.constraints) - before
+    comparators = (T - 1) + (T - 2)
+    assert added == 3 * comparators + 1
+
+
+def test_cvar_is_much_smaller_than_sorting():
+    T, k = 50, 5
+    assert topk_constraint_count(T, k, "cvar") < topk_constraint_count(
+        T, k, "sorting") / 4

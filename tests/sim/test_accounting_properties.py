@@ -1,0 +1,75 @@
+"""Property tests on end-to-end accounting invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PretiumController, PretiumConfig
+from repro.costs import LinkCostModel
+from repro.network import wan_topology
+from repro.sim import metrics, simulate
+from repro.traffic import NormalValues, build_workload
+
+
+def run_random(seed: int, load: float):
+    topology = wan_topology(n_nodes=8, n_regions=2, metered_fraction=0.25,
+                            metered_cost=5.0, seed=seed)
+    workload = build_workload(topology, n_days=1, steps_per_day=6,
+                              load_factor=load,
+                              values=NormalValues(1.0, 0.5),
+                              max_requests_per_pair=6, seed=seed)
+    controller = PretiumController(
+        PretiumConfig(window=6, lookback=6))
+    result = simulate(controller, workload)
+    cost_model = LinkCostModel(topology, billing_window=6)
+    return workload, controller, result, cost_model
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100),
+       load=st.floats(min_value=0.5, max_value=3.0))
+def test_accounting_identities(seed, load):
+    workload, controller, result, cost_model = run_random(seed, load)
+
+    # welfare = profit + user surplus
+    welfare = metrics.welfare(result, cost_model)
+    assert welfare == pytest.approx(
+        metrics.profit(result, cost_model)
+        + metrics.user_surplus(result), abs=1e-6)
+
+    # nobody is delivered more than they chose, nor pays for undelivered
+    for contract in controller.contracts:
+        delivered = result.delivered.get(contract.rid, 0.0)
+        assert delivered <= contract.chosen + 1e-6
+        assert result.payments[contract.rid] <= \
+            contract.payment_for(contract.chosen) + 1e-9
+
+    # guarantees are honoured (no faults injected here)
+    for contract in controller.contracts:
+        assert result.delivered.get(contract.rid, 0.0) >= \
+            contract.guaranteed - 1e-5
+
+    # per-(t, link) loads respect usable capacity
+    assert np.all(result.loads <= controller.state.capacity * (1 + 1e-6)
+                  + 1e-6)
+
+    # the delivery log reconstructs delivered totals
+    for rid, total in result.delivered.items():
+        logged = sum(v for _, v in result.delivery_log.get(rid, []))
+        assert logged == pytest.approx(total, abs=1e-9)
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_user_surplus_nonnegative_per_user(seed):
+    """Each customer's realised utility is nonnegative: they only buy
+    menu points with marginal price <= value, and pay only for delivery."""
+    workload, controller, result, _ = run_random(seed, 2.0)
+    for contract in controller.contracts:
+        request = contract.request
+        delivered = min(result.delivered.get(contract.rid, 0.0),
+                        request.demand)
+        utility = request.value * delivered - \
+            result.payments.get(contract.rid, 0.0)
+        assert utility >= -1e-6

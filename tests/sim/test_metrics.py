@@ -1,0 +1,135 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import ByteRequest
+from repro.costs import LinkCostModel
+from repro.network import Topology
+from repro.sim import RunResult
+from repro.sim import metrics
+from repro.traffic import Workload
+
+
+def make_result():
+    topo = Topology()
+    topo.add_link("a", "b", 10.0, metered=True, cost_per_unit=1.0)
+    topo.add_link("b", "c", 20.0)
+    requests = [
+        ByteRequest(0, "a", "b", 4.0, 0, 0, 3, 2.0),   # fully served
+        ByteRequest(1, "a", "b", 6.0, 0, 0, 3, 1.0),   # half served
+        ByteRequest(2, "a", "c", 5.0, 1, 1, 3, 3.0),   # declined
+    ]
+    wl = Workload(topo, requests, n_steps=4, steps_per_day=4)
+    loads = np.zeros((4, 2))
+    loads[:, 0] = [4.0, 3.0, 0.0, 0.0]
+    result = RunResult(
+        workload=wl, scheme_name="test", loads=loads,
+        delivered={0: 4.0, 1: 3.0},
+        payments={0: 2.0, 1: 1.5},
+        chosen={0: 4.0, 1: 3.0})
+    cm = LinkCostModel(topo, billing_window=4)
+    return result, cm
+
+
+def test_total_value():
+    result, _ = make_result()
+    assert metrics.total_value(result) == pytest.approx(4 * 2 + 3 * 1)
+
+
+def test_total_value_caps_at_demand():
+    result, _ = make_result()
+    result.delivered[0] = 100.0  # overshoot must not add value
+    assert metrics.total_value(result) == pytest.approx(4 * 2 + 3 * 1)
+
+
+def test_welfare_subtracts_true_cost():
+    result, cm = make_result()
+    true_cost = cm.true_cost(result.loads)
+    assert true_cost > 0
+    assert metrics.welfare(result, cm) == pytest.approx(11.0 - true_cost)
+
+
+def test_profit_and_surplus_sum_to_welfare():
+    result, cm = make_result()
+    assert metrics.profit(result, cm) + metrics.user_surplus(result) == \
+        pytest.approx(metrics.welfare(result, cm))
+
+
+def test_completion_fraction_demand():
+    result, _ = make_result()
+    assert metrics.completion_fraction(result, "demand") == \
+        pytest.approx(1 / 3)
+
+
+def test_completion_fraction_chosen():
+    result, _ = make_result()
+    # both admitted requests delivered their chosen volume
+    assert metrics.completion_fraction(result, "chosen") == 1.0
+
+
+def test_completion_fraction_validation():
+    result, _ = make_result()
+    with pytest.raises(ValueError):
+        metrics.completion_fraction(result, "bogus")
+
+
+def test_completion_empty_workload():
+    topo = Topology()
+    topo.add_link("a", "b", 1.0)
+    wl = Workload(topo, [], n_steps=1, steps_per_day=1)
+    result = RunResult(wl, "x", np.zeros((1, 1)), {}, {}, {})
+    assert metrics.completion_fraction(result) == 0.0
+    assert metrics.admitted_fraction(result) == 0.0
+
+
+def test_link_utilization_percentiles():
+    result, _ = make_result()
+    p100 = metrics.link_utilization_percentiles(result, 100)
+    assert p100[0] == pytest.approx(0.4)   # 4/10
+    assert p100[1] == 0.0
+
+
+def test_value_by_bucket():
+    result, _ = make_result()
+    edges, totals = metrics.value_by_bucket(result, [0.0, 1.5, 2.5, 4.0])
+    assert totals[0] == pytest.approx(3.0)   # value-1 request: 3 * 1
+    assert totals[1] == pytest.approx(8.0)   # value-2 request: 4 * 2
+    assert totals[2] == 0.0
+    with pytest.raises(ValueError):
+        metrics.value_by_bucket(result, [1.0])
+
+
+def test_value_by_bucket_clips_out_of_range():
+    result, _ = make_result()
+    edges, totals = metrics.value_by_bucket(result, [1.5, 1.8])
+    # the value-2.0 request clips into the last (only) bucket;
+    # the value-1.0 request clips into the first
+    assert totals[0] == pytest.approx(3.0 + 8.0)
+
+
+def test_admission_price_points():
+    result, _ = make_result()
+    points = dict(metrics.admission_price_points(result))
+    assert points[2.0] == pytest.approx(0.5)    # paid 2.0 for 4 units
+    assert points[1.0] == pytest.approx(0.5)    # paid 1.5 for 3 units
+    assert len(points) == 2                      # declined request skipped
+
+
+def test_admitted_fraction():
+    result, _ = make_result()
+    assert metrics.admitted_fraction(result) == pytest.approx(2 / 3)
+
+
+def test_relative():
+    assert metrics.relative(4.0, 2.0) == 2.0
+    assert metrics.relative(0.0, 0.0) == 1.0
+    assert metrics.relative(1.0, 0.0) == float("inf")
+
+
+def test_cdf_points():
+    xs, fs = metrics.cdf_points(np.array([3.0, 1.0, 2.0]))
+    assert list(xs) == [1.0, 2.0, 3.0]
+    assert list(fs) == pytest.approx([1 / 3, 2 / 3, 1.0])
+    xs, fs = metrics.cdf_points(np.array([]))
+    assert xs.size == 0

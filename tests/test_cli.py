@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+def test_list_schemes(capsys):
+    assert main(["list-schemes"]) == 0
+    out = capsys.readouterr().out
+    assert "Pretium" in out
+    assert "RegionOracle" in out
+
+
+def test_generate_workload_roundtrip(tmp_path, capsys):
+    path = tmp_path / "wl.json"
+    code = main(["generate-workload", "--out", str(path), "--nodes", "8",
+                 "--days", "1", "--steps-per-day", "6", "--seed", "1"])
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    payload = json.loads(path.read_text())
+    assert payload["kind"] == "workload"
+    assert payload["steps_per_day"] == 6
+
+
+def test_run_on_generated_workload(tmp_path, capsys):
+    wl_path = tmp_path / "wl.json"
+    main(["generate-workload", "--out", str(wl_path), "--nodes", "8",
+          "--days", "1", "--steps-per-day", "6", "--seed", "1"])
+    capsys.readouterr()
+    summary_path = tmp_path / "summary.json"
+    code = main(["run", "--scheme", "NoPrices", "--workload", str(wl_path),
+                 "--out", str(summary_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "welfare" in out
+    record = json.loads(summary_path.read_text())
+    assert record["scheme"] == "NoPrices"
+
+
+def test_figure_command(capsys):
+    assert main(["figure", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "pretium" in out
+    assert "34" in out
+
+
+def test_figure_5(capsys):
+    assert main(["figure", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "slope" in out
+
+
+def test_all_figures_registered():
+    for fid in ("1", "2", "4", "5", "6", "7", "8", "9", "10", "11", "12",
+                "13", "14", "table4"):
+        assert fid in FIGURES
+
+
+def test_parser_rejects_unknown_scheme():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--scheme", "Gurobi"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
