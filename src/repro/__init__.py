@@ -16,6 +16,8 @@ engineering for inter-datacenter transfers.  The top-level subpackages are:
   VCGLike and the Pretium ablations (S6.1).
 - :mod:`repro.experiments` -- scenario definitions and one generator per
   figure/table in the paper's evaluation.
+- :mod:`repro.telemetry` -- structured tracing, metrics and solver
+  instrumentation (spans, counters, streaming histograms, JSONL traces).
 """
 
 __version__ = "1.0.0"

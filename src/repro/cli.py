@@ -12,6 +12,11 @@ Commands
     Regenerate one of the paper's figures/tables and print its rows.
 ``list-schemes``
     Show the evaluation scheme names accepted by ``run``.
+``list-figures``
+    Show the figure/table ids accepted by ``figure``.
+``telemetry report``
+    Aggregate a JSONL trace (from ``run --telemetry``) into a
+    per-module runtime table (the Table 4 query).
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ from .experiments import figures as figures_module
 from .experiments.scenarios import Scenario
 from .network import wan_topology
 from .sim import save_summary, summarize
+from .telemetry import (MetricsRegistry, TraceWriter, Tracer, report_trace,
+                        use_tracer)
 from .traffic import NormalValues, build_workload, load_workload, \
     save_workload
 
@@ -75,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="standard-scenario load factor (no --workload)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--out", help="write the summary JSON here")
+    run.add_argument("--telemetry", metavar="PATH",
+                     help="write a JSONL trace of the run (spans for "
+                          "lp.solve, ra, sam, pc, ...) to PATH")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig.add_argument("id", choices=sorted(FIGURES),
@@ -82,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list-schemes", help="list evaluation scheme names")
+    sub.add_parser("list-figures", help="list figure/table ids")
+
+    tel = sub.add_parser("telemetry", help="inspect telemetry traces")
+    tel_sub = tel.add_subparsers(dest="telemetry_command", required=True)
+    rep = tel_sub.add_parser("report", help="aggregate a JSONL trace into "
+                                            "a per-module runtime table")
+    rep.add_argument("trace", help="trace file from run --telemetry")
     return parser
 
 
@@ -106,7 +123,18 @@ def _cmd_run(args) -> int:
         scenario = Scenario(workload.topology, workload, cost_model)
     else:
         scenario = standard_scenario(load_factor=args.load, seed=args.seed)
-    result = run_scheme(args.scheme, scenario)
+    if args.telemetry:
+        tracer = Tracer(sinks=[TraceWriter(args.telemetry)],
+                        registry=MetricsRegistry())
+        try:
+            with use_tracer(tracer):
+                result = run_scheme(args.scheme, scenario)
+            tracer.emit_metrics()
+        finally:
+            tracer.close()
+        print(f"telemetry trace written to {args.telemetry}")
+    else:
+        result = run_scheme(args.scheme, scenario)
     record = summarize(result, scenario.cost_model)
     rows = [[key, value] for key, value in record.items()
             if isinstance(value, (int, float, str))]
@@ -145,6 +173,29 @@ def _cmd_list_schemes() -> int:
     return 0
 
 
+def _cmd_list_figures() -> int:
+    for name in sorted(FIGURES):
+        print(name)
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    if args.telemetry_command == "report":
+        try:
+            print(report_trace(args.trace))
+        except FileNotFoundError:
+            print(f"error: no such trace file: {args.trace}",
+                  file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as exc:
+            print(f"error: {args.trace} is not a JSONL trace ({exc})",
+                  file=sys.stderr)
+            return 1
+        return 0
+    raise AssertionError(
+        f"unhandled telemetry command {args.telemetry_command!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -156,6 +207,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "list-schemes":
         return _cmd_list_schemes()
+    if args.command == "list-figures":
+        return _cmd_list_figures()
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..telemetry import get_registry, get_tracer
 from .admission import EPS, Contract, RequestAdmission
 from .config import PretiumConfig
 from .pricer import PriceComputer
@@ -77,8 +78,12 @@ class PretiumController:
     def window_start(self, t: int) -> None:
         """Run the price computer at window boundaries."""
         if t % self.config.window == 0:
-            if self.pricer.update(self.contracts, t):
+            with get_tracer().span("pc.update", step=t) as span:
+                updated = self.pricer.update(self.contracts, t)
+                span.set(updated=updated)
+            if updated:
                 self.price_updates += 1
+                get_registry().counter("pretium.price_updates").inc()
 
     def arrival(self, request: ByteRequest, t: int) -> Contract | None:
         """Quote, let the customer respond, admit.
@@ -88,23 +93,31 @@ class PretiumController:
         effort by the schedule adjuster whenever leftover capacity makes
         it worthwhile.
         """
+        metrics = get_registry()
         if request.scavenger:
             contract = Contract.scavenger(request, request.value, t)
             self.contracts.append(contract)
+            metrics.counter("pretium.scavenger").inc()
             return contract
-        menu = self.admission.quote(request, t)
+        with get_tracer().span("ra.quote", step=t, rid=request.rid):
+            menu = self.admission.quote(request, t)
         self.menus[request.rid] = menu
         chosen = self.user.choose(request, menu)
         contract = self.admission.admit(request, menu, chosen, t)
         if contract is not None:
             self.contracts.append(contract)
+            metrics.counter("pretium.admitted").inc()
+        else:
+            metrics.counter("pretium.rejected").inc()
         return contract
 
     def step(self, t: int, delivered: dict[int, float],
              loads: np.ndarray) -> list[Transmission]:
         """Transmissions to execute at timestep ``t``."""
         if self.config.sam_enabled:
-            plan = self.sam.adjust(self.contracts, delivered, loads, t)
+            with get_tracer().span("sam.adjust", step=t,
+                                   n_contracts=len(self.contracts)):
+                plan = self.sam.adjust(self.contracts, delivered, loads, t)
             if plan is None:
                 plan = []
             active = {c.rid for c in self.contracts

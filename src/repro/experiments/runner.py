@@ -14,6 +14,7 @@ from ..core import PretiumController
 from ..baselines import (NoPrices, OfflineOptimal, PeakOracle,
                          PretiumNoMenu, PretiumNoSAM, RegionOracle, VCGLike)
 from ..sim import RunResult, simulate, summarize
+from ..telemetry import get_tracer
 from .scenarios import Scenario
 
 #: Factories for every named scheme in the evaluation.  NoPrices treats
@@ -47,9 +48,12 @@ def run_scheme(scheme, scenario: Scenario) -> RunResult:
     """Run a scheme instance (or name) on a scenario."""
     if isinstance(scheme, str):
         scheme = make_scheme(scheme)
-    if hasattr(scheme, "run"):
-        return scheme.run(scenario.workload)
-    return simulate(scheme, scenario.workload)
+    name = getattr(scheme, "name", type(scheme).__name__)
+    with get_tracer().span("scheme.run", scheme=name,
+                           workload=scenario.workload.description):
+        if hasattr(scheme, "run"):
+            return scheme.run(scenario.workload)
+        return simulate(scheme, scenario.workload)
 
 
 def run_schemes(names, scenario: Scenario) -> dict[str, RunResult]:

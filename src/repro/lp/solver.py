@@ -12,6 +12,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from ..telemetry import get_tracer
 from .errors import InfeasibleError, ModelError, SolverError, UnboundedError
 from .model import EQ, GE, LE, Constraint, Model, Variable
 
@@ -129,19 +130,27 @@ def solve_model(model: Model) -> Solution:
     InfeasibleError, UnboundedError, SolverError
         On the corresponding solver outcomes.
     """
-    c, obj_constant, A_ub, b_ub, A_eq, b_eq, bounds, row_info = _assemble(model)
+    with get_tracer().span("lp.solve", model=model.name,
+                           sense=model.sense) as span:
+        c, obj_constant, A_ub, b_ub, A_eq, b_eq, bounds, row_info = \
+            _assemble(model)
+        span.set(n_vars=len(model.variables),
+                 n_constraints=len(model.constraints))
 
-    result = linprog(c, A_ub=A_ub, b_ub=b_ub if A_ub is not None else None,
-                     A_eq=A_eq, b_eq=b_eq if A_eq is not None else None,
-                     bounds=bounds, method="highs")
+        result = linprog(c, A_ub=A_ub,
+                         b_ub=b_ub if A_ub is not None else None,
+                         A_eq=A_eq, b_eq=b_eq if A_eq is not None else None,
+                         bounds=bounds, method="highs")
+        span.set(status=int(result.status),
+                 iterations=int(getattr(result, "nit", 0)))
 
-    if result.status == _STATUS_INFEASIBLE:
-        raise InfeasibleError(f"model {model.name!r} is infeasible")
-    if result.status == _STATUS_UNBOUNDED:
-        raise UnboundedError(f"model {model.name!r} is unbounded")
-    if result.status != _STATUS_OK:
-        raise SolverError(f"model {model.name!r}: solver failed "
-                          f"(status {result.status}: {result.message})")
+        if result.status == _STATUS_INFEASIBLE:
+            raise InfeasibleError(f"model {model.name!r} is infeasible")
+        if result.status == _STATUS_UNBOUNDED:
+            raise UnboundedError(f"model {model.name!r} is unbounded")
+        if result.status != _STATUS_OK:
+            raise SolverError(f"model {model.name!r}: solver failed "
+                              f"(status {result.status}: {result.message})")
 
     # linprog minimises; flip back for a max model.
     objective = float(result.fun) + (obj_constant if model.sense == "min" else 0.0)

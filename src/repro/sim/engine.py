@@ -20,13 +20,13 @@ runtimes (Table 4).
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.admission import EPS
+from ..telemetry import get_tracer
 from ..traffic.workload import Workload
 
 #: Relative capacity tolerance: LP solutions may overshoot by solver
@@ -96,7 +96,15 @@ class ModuleRuntimes:
 
 
 def simulate(scheme, workload: Workload) -> RunResult:
-    """Run ``scheme`` online over ``workload`` and settle payments."""
+    """Run ``scheme`` online over ``workload`` and settle payments.
+
+    Per-module timing (Table 4) is captured through telemetry spans
+    named ``ra``/``sam``/``pc``: with a tracer configured the spans land
+    in the trace; either way their durations populate the
+    :class:`ModuleRuntimes` summary in ``extras["runtimes"]``.
+    """
+    scheme_name = getattr(scheme, "name", type(scheme).__name__)
+    tracer = get_tracer()
     scheme.begin(workload)
     n_links = workload.topology.num_links
     loads = np.zeros((workload.n_steps, n_links))
@@ -110,34 +118,45 @@ def simulate(scheme, workload: Workload) -> RunResult:
         arrivals[request.arrival].append(request)
 
     capacity = _capacity_view(scheme, workload)
+    window = _window_of(scheme, workload)
 
-    for t in range(workload.n_steps):
-        started = time.perf_counter()
-        scheme.window_start(t)
-        elapsed = time.perf_counter() - started
-        if elapsed > 0 and t % _window_of(scheme, workload) == 0:
-            runtimes.pc.append(elapsed)
+    with tracer.span("run", scheme=scheme_name, n_steps=workload.n_steps,
+                     n_requests=workload.n_requests) as run_span:
+        for t in range(workload.n_steps):
+            if t % window == 0:
+                with tracer.span("pc", step=t) as span:
+                    scheme.window_start(t)
+                if span.duration > 0:
+                    runtimes.pc.append(span.duration)
+            else:
+                # Off-boundary calls are cheap no-ops for every scheme;
+                # timing them would only dilute the PC samples.
+                scheme.window_start(t)
 
-        for request in arrivals.get(t, []):
-            started = time.perf_counter()
-            scheme.arrival(request, t)
-            runtimes.ra.append(time.perf_counter() - started)
+            for request in arrivals.get(t, []):
+                with tracer.span("ra", step=t, rid=request.rid) as span:
+                    scheme.arrival(request, t)
+                runtimes.ra.append(span.duration)
 
-        started = time.perf_counter()
-        transmissions = scheme.step(t, dict(delivered), loads)
-        runtimes.sam.append(time.perf_counter() - started)
+            with tracer.span("sam", step=t) as span:
+                transmissions = scheme.step(t, dict(delivered), loads)
+                span.set(n_transmissions=len(transmissions))
+            runtimes.sam.append(span.duration)
 
-        _apply(transmissions, t, loads, delivered, capacity, delivery_log)
+            _apply(transmissions, t, loads, delivered, capacity,
+                   delivery_log)
 
-    payments = _settle(scheme, delivered)
-    chosen = {c.rid: c.chosen for c in getattr(scheme, "contracts", [])}
+        payments = _settle(scheme, delivered)
+        chosen = {c.rid: c.chosen for c in getattr(scheme, "contracts", [])}
+        run_span.set(delivered=float(sum(delivered.values())),
+                     n_contracts=len(chosen))
 
     extras = {"runtimes": runtimes}
     state = getattr(scheme, "state", None)
     if state is not None:
         extras["prices"] = state.prices.copy()
     return RunResult(workload=workload,
-                     scheme_name=getattr(scheme, "name", type(scheme).__name__),
+                     scheme_name=scheme_name,
                      loads=loads, delivered=dict(delivered),
                      payments=payments, chosen=chosen, extras=extras,
                      delivery_log=dict(delivery_log))
@@ -168,17 +187,26 @@ def _apply(transmissions, t: int, loads: np.ndarray,
                 f"transmission for step {tx.timestep} executed at {t}")
         if tx.volume <= EPS:
             continue
-        for index in tx.links:
-            new_load = loads[t, index] + tx.volume
-            cap = capacity[t, index]
-            if new_load > cap * (1.0 + CAPACITY_SLACK) + 1e-7:
-                raise CapacityViolation(
-                    f"link {index} at t={t}: load {new_load:.6f} exceeds "
-                    f"capacity {cap:.6f}")
+        _check_capacity(tx, t, loads, capacity)
         for index in tx.links:
             loads[t, index] += tx.volume
         delivered[tx.rid] += tx.volume
         delivery_log[tx.rid].append((t, tx.volume))
+
+
+def _check_capacity(tx, t: int, loads: np.ndarray,
+                    capacity: np.ndarray) -> None:
+    """Raise :class:`CapacityViolation` if ``tx`` overfills any of its
+    links at step ``t``; the message names the link, step, resulting
+    load and capacity so a scheme bug is diagnosable from the error."""
+    for index in tx.links:
+        new_load = loads[t, index] + tx.volume
+        cap = capacity[t, index]
+        if new_load > cap * (1.0 + CAPACITY_SLACK) + 1e-7:
+            raise CapacityViolation(
+                f"request {tx.rid}: link {index} at step {t}: "
+                f"load {new_load:.6f} exceeds capacity {cap:.6f} "
+                f"(adding volume {tx.volume:.6f})")
 
 
 def _settle(scheme, delivered: dict[int, float]) -> dict[int, float]:

@@ -54,8 +54,15 @@ def load_summary(path: str | Path) -> dict:
 
 
 def _coerce(obj):
-    if isinstance(obj, (np.floating, np.integer)):
+    """``json.dumps`` fallback for numpy scalars/arrays.
+
+    Anything else raises: a summary silently serialised as ``null``
+    (or a lossy ``str``) would corrupt the benchmark record without
+    failing the run, so unknown types must be an error here.
+    """
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
         return obj.item()
     if isinstance(obj, np.ndarray):
         return obj.tolist()
-    raise TypeError(f"cannot serialise {type(obj).__name__}")
+    raise TypeError(f"cannot serialise {type(obj).__name__} in a run "
+                    f"summary: {obj!r}")

@@ -1,0 +1,35 @@
+"""Structured tracing, metrics and solver instrumentation.
+
+The observability layer for the whole stack (see DESIGN.md §"Telemetry &
+profiling"):
+
+- :class:`MetricsRegistry` — counters, gauges and streaming histograms
+  (p50/p95/p99 without storing samples);
+- :class:`Tracer` / :func:`get_tracer` — nesting spans with wall-clock
+  timestamps and structured attributes; disabled (no sinks) by default,
+  in which case a span costs two ``perf_counter`` calls and nothing else;
+- :class:`TraceWriter` / :class:`InMemoryCollector` — JSONL file and
+  in-memory event sinks; :func:`read_trace` parses a file back;
+- :mod:`~repro.telemetry.report` — aggregate a trace into the per-module
+  runtime table behind the paper's Table 4.
+
+Instrumented call sites: :func:`repro.lp.solver.solve_model` emits
+``lp.solve`` spans (LP size, status, iterations); the simulation engine
+emits ``run``, ``ra``, ``sam`` and ``pc`` spans; the Pretium controller
+counts admissions, rejections, scavenger contracts and price updates in
+the process registry.
+"""
+
+from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
+                       get_registry, set_registry)
+from .report import aggregate_spans, module_runtimes, report_trace, \
+    runtime_table
+from .sinks import InMemoryCollector, TraceWriter, read_trace
+from .trace import Span, Tracer, get_tracer, set_tracer, use_tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "InMemoryCollector", "MetricsRegistry",
+    "Span", "TraceWriter", "Tracer", "aggregate_spans", "get_registry",
+    "get_tracer", "module_runtimes", "read_trace", "report_trace",
+    "runtime_table", "set_registry", "set_tracer", "use_tracer",
+]

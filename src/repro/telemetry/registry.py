@@ -1,0 +1,187 @@
+"""Metrics primitives: counters, gauges and streaming histograms.
+
+The histogram is log-bucketed (geometric bucket bounds), so quantiles
+come out with bounded *relative* error — about ``sqrt(growth) - 1`` —
+without storing samples.  That keeps per-observation cost at one dict
+increment no matter how long a run is, which is what lets the simulation
+engine feed every module invocation through it.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Counter:
+    """A monotonically increasing count (admissions, rejections, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (active contracts, current price level)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, delta: float = 1.0) -> None:
+        self.value += delta
+
+    def dec(self, delta: float = 1.0) -> None:
+        self.value -= delta
+
+
+class Histogram:
+    """Streaming quantiles over positive samples (runtimes, LP sizes).
+
+    Values are assigned to geometric buckets ``[g**i, g**(i+1))``; a
+    quantile query walks the buckets and returns the geometric midpoint
+    of the one holding the requested rank.  With the default growth of
+    1.05 the answer is within ~2.5% (relative) of the exact quantile.
+    Exact ``min``/``max``/``sum`` are tracked on the side; values at or
+    below ``min_value`` share one underflow bucket.
+    """
+
+    __slots__ = ("growth", "min_value", "_log_growth", "_buckets", "count",
+                 "total", "min", "max")
+
+    def __init__(self, growth: float = 1.05, min_value: float = 1e-9) -> None:
+        if growth <= 1.0:
+            raise ValueError("growth factor must be > 1")
+        self.growth = growth
+        self.min_value = min_value
+        self._log_growth = math.log(growth)
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if value < 0:
+            raise ValueError(f"histogram samples must be >= 0, got {value}")
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        index = self._index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def quantile(self, q: float) -> float:
+        """The q-th quantile (0 <= q <= 1); NaN on an empty histogram."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        if q == 0.0:
+            return self.min
+        rank = q * self.count
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                return min(max(self._midpoint(index), self.min), self.max)
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        """Count, sum, exact extremes and p50/p95/p99 estimates."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max,
+                "p50": self.quantile(0.50), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
+
+    # -- internal ----------------------------------------------------------
+    def _index(self, value: float) -> int:
+        if value <= self.min_value:
+            return -(2 ** 31)  # shared underflow bucket
+        return math.floor(math.log(value / self.min_value)
+                          / self._log_growth)
+
+    def _midpoint(self, index: int) -> float:
+        if index == -(2 ** 31):
+            return self.min_value
+        lo = self.min_value * self.growth ** index
+        return lo * math.sqrt(self.growth)
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use.
+
+    ``registry.counter("pretium.admitted").inc()`` is the whole API: the
+    registry get-or-creates, so instrumented code never checks whether a
+    metric exists.  A name is permanently bound to its first kind —
+    asking for it as another kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        return self._get(name, Histogram, **kwargs)
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view of every metric, sorted by name."""
+        out = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, name: str, kind: type, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(**kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(f"metric {name!r} is a "
+                            f"{type(metric).__name__}, not a {kind.__name__}")
+        return metric
+
+
+#: Process-wide registry used by instrumented modules (cheap, always on).
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one for ``None``); returns the
+    previous registry so tests can restore it."""
+    global _registry
+    previous = _registry
+    _registry = registry if registry is not None else MetricsRegistry()
+    return previous

@@ -1,0 +1,96 @@
+"""Aggregate a trace into per-module runtime statistics.
+
+This is the query that turns the general event stream back into the
+paper's Table 4: group span events by name, compute count / total /
+median / p95 / max durations, and render them as a fixed-width table.
+The engine's module spans are named ``ra``, ``sam`` and ``pc``, so those
+rows correspond one-to-one with the ``ModuleRuntimes.summary()`` records
+the Table 4 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .sinks import read_trace
+
+#: Engine module spans, in the order Table 4 lists them.
+MODULE_SPANS = ("ra", "sam", "pc")
+
+
+def aggregate_spans(events: list[dict]) -> dict[str, dict[str, float]]:
+    """Per-span-name duration statistics from a list of trace events."""
+    durations: dict[str, list[float]] = {}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        durations.setdefault(event["name"], []).append(
+            float(event["duration"]))
+    out = {}
+    for name, samples in durations.items():
+        arr = np.asarray(samples)
+        out[name] = {"count": len(samples), "total": float(arr.sum()),
+                     "median": float(np.median(arr)),
+                     "p95": float(np.percentile(arr, 95)),
+                     "max": float(arr.max())}
+    return out
+
+
+def module_runtimes(events: list[dict]) -> dict[str, dict[str, float]]:
+    """The ``ra``/``sam``/``pc`` rows in ``ModuleRuntimes.summary()``
+    shape (keys ``RA``/``SAM``/``PC``; median, p95, count)."""
+    stats = aggregate_spans(events)
+    out = {}
+    for name in MODULE_SPANS:
+        if name in stats:
+            row = stats[name]
+            out[name.upper()] = {"median": row["median"], "p95": row["p95"],
+                                 "count": row["count"]}
+    return out
+
+
+def runtime_table(events: list[dict]) -> str:
+    """Human-readable per-module runtime table for a trace.
+
+    Module spans (``ra``, ``sam``, ``pc``) lead in Table 4 order; every
+    other span name (``lp.solve``, ``scheme.run``, ...) follows
+    alphabetically, so nothing recorded is hidden.
+    """
+    stats = aggregate_spans(events)
+    ordered = [n for n in MODULE_SPANS if n in stats]
+    ordered += sorted(n for n in stats if n not in MODULE_SPANS)
+    rows = []
+    for name in ordered:
+        row = stats[name]
+        rows.append([name, row["count"], f"{row['median']:.6f}",
+                     f"{row['p95']:.6f}", f"{row['max']:.6f}",
+                     f"{row['total']:.6f}"])
+    return _format_table(
+        ["span", "count", "median_s", "p95_s", "max_s", "total_s"], rows)
+
+
+def report_trace(path: str | Path) -> str:
+    """Load a JSONL trace and render its runtime table (CLI entry)."""
+    events = read_trace(path)
+    spans = [e for e in events if e.get("type") == "span"]
+    if not spans:
+        return f"no span events in {path}"
+    return runtime_table(events)
+
+
+def _format_table(headers: list[str], rows: list[list]) -> str:
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    out = [line(headers), line("-" * w for w in widths)]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,78 @@
+"""Event sinks: JSONL trace files and an in-memory collector.
+
+Events are plain dicts (see ``Span.to_event`` for the span schema).  The
+writer is line-oriented JSON so traces stream, append, and grep well;
+:func:`read_trace` is the inverse.  Tests and benchmarks use
+:class:`InMemoryCollector` to assert on emitted events without touching
+the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def _json_default(obj):
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"cannot serialise {type(obj).__name__} in a trace "
+                    f"event: {obj!r}")
+
+
+class InMemoryCollector:
+    """Keeps every emitted event in a list (for tests/benchmarks)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def spans(self, name: str | None = None) -> list[dict]:
+        """Span events, optionally filtered by span name."""
+        return [e for e in self.events if e.get("type") == "span"
+                and (name is None or e.get("name") == name)]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class TraceWriter:
+    """Appends one JSON object per event to a ``.jsonl`` file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file = self.path.open("w")
+
+    def emit(self, event: dict) -> None:
+        if self._file is None:
+            raise ValueError(f"trace writer for {self.path} is closed")
+        self._file.write(json.dumps(event, separators=(",", ":"),
+                                    default=_json_default) + "\n")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace back into a list of event dicts."""
+    events = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -74,6 +74,33 @@ def test_engine_rejects_overcapacity():
         simulate(ScriptedScheme(script), workload())
 
 
+class OverSchedulingScheme(ScriptedScheme):
+    """Deliberately schedules 2x the link capacity at every step."""
+
+    name = "OverScheduler"
+
+    def step(self, t, delivered, loads):
+        return [Transmission(0, (0,), t, 20.0)]
+
+
+def test_overscheduling_scheme_raises_with_diagnostics():
+    with pytest.raises(CapacityViolation) as excinfo:
+        simulate(OverSchedulingScheme(), workload())
+    message = str(excinfo.value)
+    # the message names the link, step, offending load and the capacity
+    assert "link 0" in message
+    assert "step 0" in message
+    assert "20.0" in message
+    assert "10.0" in message
+
+
+def test_capacity_check_leaves_state_untouched_on_failure():
+    script = {0: [Transmission(0, (0,), 0, 4.0),
+                  Transmission(1, (0,), 0, 11.0)]}
+    with pytest.raises(CapacityViolation):
+        simulate(ScriptedScheme(script), workload())
+
+
 def test_engine_rejects_cumulative_overcapacity():
     script = {0: [Transmission(0, (0,), 0, 6.0),
                   Transmission(1, (0,), 0, 6.0)]}

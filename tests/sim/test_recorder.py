@@ -59,5 +59,23 @@ def test_save_coerces_numpy_types(tmp_path):
 
 
 def test_save_rejects_unserialisable(tmp_path):
-    with pytest.raises(TypeError):
-        save_summary({"bad": object()}, tmp_path / "bad.json")
+    """Regression: an unknown type must raise, never serialise as null."""
+    path = tmp_path / "bad.json"
+    with pytest.raises(TypeError, match="cannot serialise object"):
+        save_summary({"bad": object()}, path)
+    # in particular, no file with a silent null in it was produced
+    assert not path.exists() or "null" not in path.read_text()
+
+
+def test_save_rejects_nested_unserialisable(tmp_path):
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError, match="Opaque"):
+        save_summary({"runtimes": {"RA": Opaque()}}, tmp_path / "bad.json")
+
+
+def test_save_coerces_numpy_bool(tmp_path):
+    path = tmp_path / "b.json"
+    save_summary({"flag": np.bool_(True)}, path)
+    assert load_summary(path) == {"flag": True}

@@ -1,0 +1,104 @@
+"""Tests for counters, gauges and the streaming histogram."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (Counter, Gauge, Histogram, MetricsRegistry,
+                             get_registry, set_registry)
+
+
+def test_counter_increments():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter().inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    gauge = Gauge()
+    gauge.set(10.0)
+    gauge.inc(2.5)
+    gauge.dec(0.5)
+    assert gauge.value == pytest.approx(12.0)
+
+
+def test_histogram_empty():
+    hist = Histogram()
+    assert math.isnan(hist.quantile(0.5))
+    assert hist.summary() == {"count": 0, "sum": 0.0}
+
+
+def test_histogram_tracks_exact_extremes_and_sum():
+    hist = Histogram()
+    for value in (0.5, 2.0, 8.0):
+        hist.observe(value)
+    assert hist.count == 3
+    assert hist.min == 0.5
+    assert hist.max == 8.0
+    assert hist.total == pytest.approx(10.5)
+    assert hist.quantile(0.0) == 0.5
+    assert hist.quantile(1.0) == 8.0
+
+
+def test_histogram_quantiles_bounded_relative_error():
+    rng = np.random.default_rng(0)
+    samples = rng.lognormal(mean=-7.0, sigma=1.0, size=5000)
+    hist = Histogram(growth=1.05)
+    for value in samples:
+        hist.observe(value)
+    for q in (0.50, 0.95, 0.99):
+        exact = float(np.quantile(samples, q))
+        estimate = hist.quantile(q)
+        assert estimate == pytest.approx(exact, rel=0.06), q
+
+
+def test_histogram_rejects_negative_samples():
+    with pytest.raises(ValueError):
+        Histogram().observe(-1.0)
+
+
+def test_histogram_without_storing_samples():
+    """The whole point: memory stays bounded however many observations."""
+    hist = Histogram(growth=1.05)
+    for i in range(100_000):
+        hist.observe(1e-6 * (1 + (i % 1000)))
+    assert hist.count == 100_000
+    assert len(hist._buckets) < 500
+
+
+def test_registry_get_or_create_and_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("admitted").inc(3)
+    registry.gauge("load").set(0.7)
+    registry.histogram("ra").observe(0.5)
+    assert registry.counter("admitted") is registry.counter("admitted")
+    snapshot = registry.snapshot()
+    assert snapshot["admitted"] == 3
+    assert snapshot["load"] == pytest.approx(0.7)
+    assert snapshot["ra"]["count"] == 1
+    json.dumps(snapshot)  # must be JSON-serialisable as-is
+
+
+def test_registry_rejects_kind_change():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_process_registry_swap_and_restore():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    try:
+        assert get_registry() is fresh
+    finally:
+        set_registry(previous)
+    assert get_registry() is previous

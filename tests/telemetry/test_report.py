@@ -1,0 +1,62 @@
+"""Tests for trace aggregation: the Table 4 query over the event stream."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (aggregate_spans, module_runtimes, report_trace,
+                             runtime_table)
+
+
+def span(name, duration):
+    return {"type": "span", "name": name, "span_id": 1, "parent_id": 0,
+            "ts": 0.0, "duration": duration, "attrs": {}}
+
+
+def make_events():
+    events = [span("ra", d) for d in (0.1, 0.2, 0.3, 0.4)]
+    events += [span("sam", d) for d in (1.0, 3.0)]
+    events += [span("pc", 5.0), span("lp.solve", 0.5)]
+    events.append({"type": "metrics", "ts": 0.0, "metrics": {}})
+    return events
+
+
+def test_aggregate_spans_stats():
+    stats = aggregate_spans(make_events())
+    assert stats["ra"]["count"] == 4
+    assert stats["ra"]["median"] == pytest.approx(0.25)
+    assert stats["ra"]["total"] == pytest.approx(1.0)
+    assert stats["ra"]["max"] == pytest.approx(0.4)
+    assert stats["sam"]["p95"] == pytest.approx(
+        float(np.percentile([1.0, 3.0], 95)))
+    assert stats["pc"]["count"] == 1
+    assert "lp.solve" in stats
+
+
+def test_module_runtimes_matches_table4_shape():
+    runtimes = module_runtimes(make_events())
+    assert set(runtimes) == {"RA", "SAM", "PC"}
+    for row in runtimes.values():
+        assert set(row) == {"median", "p95", "count"}
+    assert runtimes["RA"]["count"] == 4
+
+
+def test_runtime_table_orders_modules_first():
+    table = runtime_table(make_events())
+    lines = table.splitlines()
+    assert lines[0].split()[:2] == ["span", "count"]
+    first_columns = [line.split()[0] for line in lines[2:]]
+    assert first_columns == ["ra", "sam", "pc", "lp.solve"]
+
+
+def test_report_trace_from_file(tmp_path):
+    import json
+    path = tmp_path / "trace.jsonl"
+    path.write_text("".join(json.dumps(e) + "\n" for e in make_events()))
+    out = report_trace(path)
+    assert "ra" in out and "lp.solve" in out
+
+
+def test_report_trace_empty(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert "no span events" in report_trace(path)

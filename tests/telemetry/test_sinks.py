@@ -1,0 +1,67 @@
+"""Tests for JSONL trace writing/reading and the in-memory collector."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (InMemoryCollector, TraceWriter, Tracer,
+                             read_trace)
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(sinks=[TraceWriter(path)])
+    with tracer.span("outer", scheme="Pretium"):
+        with tracer.span("inner", step=2):
+            pass
+    tracer.close()
+
+    events = read_trace(path)
+    assert [e["name"] for e in events] == ["inner", "outer"]
+    inner, outer = events
+    assert inner["parent_id"] == outer["span_id"]
+    assert inner["attrs"] == {"step": 2}
+    assert outer["attrs"] == {"scheme": "Pretium"}
+
+
+def test_writer_coerces_numpy_attrs(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TraceWriter(path) as writer:
+        writer.emit({"type": "span", "n": np.int64(3),
+                     "x": np.float64(0.5), "arr": np.arange(2)})
+    (event,) = read_trace(path)
+    assert event == {"type": "span", "n": 3, "x": 0.5, "arr": [0, 1]}
+
+
+def test_writer_rejects_unserialisable_event(tmp_path):
+    with TraceWriter(tmp_path / "trace.jsonl") as writer:
+        with pytest.raises(TypeError, match="cannot serialise"):
+            writer.emit({"bad": object()})
+
+
+def test_writer_refuses_after_close(tmp_path):
+    writer = TraceWriter(tmp_path / "trace.jsonl")
+    writer.close()
+    writer.close()  # idempotent
+    with pytest.raises(ValueError):
+        writer.emit({"type": "span"})
+
+
+def test_collector_filters_by_name():
+    collector = InMemoryCollector()
+    tracer = Tracer(sinks=[collector])
+    with tracer.span("ra"):
+        pass
+    with tracer.span("sam"):
+        pass
+    tracer.emit({"type": "metrics", "metrics": {}})
+    assert len(collector.spans()) == 2
+    assert len(collector.spans("ra")) == 1
+    collector.clear()
+    assert collector.events == []
+
+
+def test_read_trace_skips_blank_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"type":"span","name":"ra"}\n\n{"type":"metrics"}\n')
+    events = read_trace(path)
+    assert [e["type"] for e in events] == ["span", "metrics"]

@@ -1,0 +1,98 @@
+"""Tests for the span/trace API: nesting, attributes, no-op default."""
+
+import pytest
+
+from repro.telemetry import (InMemoryCollector, MetricsRegistry, Tracer,
+                             get_tracer, use_tracer)
+
+
+def make_tracer():
+    collector = InMemoryCollector()
+    return Tracer(sinks=[collector]), collector
+
+
+def test_default_tracer_is_disabled_but_still_times():
+    tracer = get_tracer()
+    assert not tracer.enabled
+    with tracer.span("work") as span:
+        sum(range(1000))
+    assert span.duration > 0
+
+
+def test_disabled_span_skips_attribute_storage():
+    tracer = Tracer()
+    with tracer.span("work", step=3) as span:
+        span.set(n=7)
+    assert span.attrs == {}
+
+
+def test_span_event_schema():
+    tracer, collector = make_tracer()
+    with tracer.span("lp.solve", model="sam@3") as span:
+        span.set(n_vars=10)
+    (event,) = collector.events
+    assert event["type"] == "span"
+    assert event["name"] == "lp.solve"
+    assert event["attrs"] == {"model": "sam@3", "n_vars": 10}
+    assert event["duration"] > 0
+    assert event["ts"] > 0
+    assert event["span_id"] >= 1
+
+
+def test_spans_nest_via_parent_ids():
+    tracer, collector = make_tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            pass
+        with tracer.span("inner") as second:
+            pass
+    assert inner.parent_id == outer.span_id
+    assert second.parent_id == outer.span_id
+    assert outer.parent_id == 0
+    # children close (and are emitted) before the parent
+    names = [e["name"] for e in collector.events]
+    assert names == ["inner", "inner", "outer"]
+
+
+def test_span_records_error_on_exception():
+    tracer, collector = make_tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("work"):
+            raise ValueError("boom")
+    (event,) = collector.events
+    assert event["attrs"]["error"] == "ValueError"
+    # the failed span was popped: the next one is a root again
+    with tracer.span("after") as after:
+        pass
+    assert after.parent_id == 0
+
+
+def test_use_tracer_scopes_and_restores():
+    tracer, collector = make_tracer()
+    default = get_tracer()
+    with use_tracer(tracer) as active:
+        assert get_tracer() is active is tracer
+        with get_tracer().span("scoped"):
+            pass
+    assert get_tracer() is default
+    assert collector.spans("scoped")
+
+
+def test_tracer_feeds_registry_histograms():
+    registry = MetricsRegistry()
+    tracer = Tracer(sinks=[InMemoryCollector()], registry=registry)
+    with tracer.span("ra"):
+        pass
+    with tracer.span("ra"):
+        pass
+    assert registry.histogram("span.ra").count == 2
+
+
+def test_emit_metrics_writes_snapshot_event():
+    registry = MetricsRegistry()
+    collector = InMemoryCollector()
+    tracer = Tracer(sinks=[collector], registry=registry)
+    registry.counter("pretium.admitted").inc(5)
+    tracer.emit_metrics()
+    (event,) = [e for e in collector.events if e["type"] == "metrics"]
+    assert event["metrics"]["pretium.admitted"] == 5

@@ -40,6 +40,70 @@ def test_run_on_generated_workload(tmp_path, capsys):
     assert record["scheme"] == "NoPrices"
 
 
+def test_list_figures(capsys):
+    assert main(["list-figures"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == sorted(FIGURES)
+    assert "table4" in out
+    assert "2" in out
+
+
+def test_run_with_telemetry_writes_trace_and_report_reads_it(
+        tmp_path, capsys):
+    wl_path = tmp_path / "wl.json"
+    main(["generate-workload", "--out", str(wl_path), "--nodes", "8",
+          "--days", "1", "--steps-per-day", "6", "--seed", "1"])
+    capsys.readouterr()
+    trace_path = tmp_path / "trace.jsonl"
+    code = main(["run", "--scheme", "Pretium", "--workload", str(wl_path),
+                 "--telemetry", str(trace_path)])
+    assert code == 0
+    assert "telemetry trace written" in capsys.readouterr().out
+
+    from repro.telemetry import module_runtimes, read_trace
+    events = read_trace(trace_path)
+    names = {e["name"] for e in events if e.get("type") == "span"}
+    assert {"lp.solve", "ra", "sam", "pc", "run", "scheme.run"} <= names
+    assert any(e.get("type") == "metrics" for e in events)
+
+    # `telemetry report` renders the same trace as a runtime table
+    assert main(["telemetry", "report", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    for name in ("ra", "sam", "pc", "lp.solve", "median_s", "p95_s"):
+        assert name in out
+
+    # the trace-derived module stats are the Table 4 numbers for this run
+    runtimes = module_runtimes(events)
+    assert set(runtimes) == {"RA", "SAM", "PC"}
+    assert runtimes["RA"]["count"] > 0
+
+
+def test_telemetry_report_missing_or_malformed_trace(tmp_path, capsys):
+    assert main(["telemetry", "report", str(tmp_path / "nope.jsonl")]) == 1
+    assert "no such trace file" in capsys.readouterr().err
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    assert main(["telemetry", "report", str(bad)]) == 1
+    assert "not a JSONL trace" in capsys.readouterr().err
+
+
+def test_run_without_telemetry_leaves_tracer_disabled(tmp_path, capsys):
+    from repro.telemetry import get_tracer
+    wl_path = tmp_path / "wl.json"
+    main(["generate-workload", "--out", str(wl_path), "--nodes", "8",
+          "--days", "1", "--steps-per-day", "6", "--seed", "1"])
+    summary_path = tmp_path / "summary.json"
+    code = main(["run", "--scheme", "Pretium", "--workload", str(wl_path),
+                 "--out", str(summary_path)])
+    assert code == 0
+    assert not get_tracer().enabled
+    capsys.readouterr()
+    # benchmark summary schema unchanged: runtimes still present
+    record = json.loads(summary_path.read_text())
+    assert "runtimes" in record
+    assert "SAM" in record["runtimes"]
+
+
 def test_figure_command(capsys):
     assert main(["figure", "2"]) == 0
     out = capsys.readouterr().out
