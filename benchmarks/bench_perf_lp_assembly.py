@@ -1,0 +1,128 @@
+"""Perf benchmark: batched COO LP construction vs the expression builder.
+
+Builds the SAM LP for one medium scenario with both construction paths
+and times (a) model construction, (b) matrix assembly in the solver, and
+(c) the full ``adjust`` call including the HiGHS solve.  Both paths must
+produce the identical plan; the recorded JSON
+(``benchmarks/results/bench_perf_lp_assembly.json``) reports the
+baseline/fast timings and speedups.
+
+The assertion policy is crash-and-equivalence only — timings are
+recorded, never gated, so CI stays robust to noisy runners.  Scale with
+``BENCH_PERF_SCALE=small|medium`` (CI uses ``small``).
+"""
+
+import os
+import random
+import time
+
+import numpy as np
+
+from repro.core import (ByteRequest, NetworkState, PretiumConfig,
+                        RequestAdmission, ScheduleAdjuster)
+from repro.lp import solver as lp_solver
+from repro.lp.model import Model
+from repro.network import small_wan
+
+SCALES = {
+    "small": dict(n_requests=15, n_steps=24, window=12),
+    "medium": dict(n_requests=100, n_steps=72, window=24),
+}
+
+
+class _CaptureModel(Exception):
+    """Raised by the patched solve to stop after construction."""
+
+
+def make_scenario(lp_builder, n_requests, n_steps, window):
+    rng = random.Random(3)
+    topology = small_wan(seed=2)
+    config = PretiumConfig(window=window, lookback=window,
+                           lp_builder=lp_builder, quote_path="scan")
+    state = NetworkState(topology, n_steps, config)
+    ra = RequestAdmission(state)
+    sam = ScheduleAdjuster(state, billing_window=window)
+    nodes = list(topology.nodes)
+    contracts = []
+    for rid in range(n_requests):
+        src, dst = rng.sample(nodes, 2)
+        start = rng.randrange(0, window)
+        deadline = min(n_steps - 1, start + rng.randrange(8, 40))
+        req = ByteRequest(rid, src, dst, rng.uniform(2.0, 30.0), 0,
+                          start, deadline, 1.0)
+        menu = ra.quote(req, now=0)
+        contract = ra.admit(req, menu, req.demand, 0)
+        if contract:
+            contracts.append(contract)
+    realized = np.zeros((n_steps, topology.num_links))
+    return sam, contracts, realized
+
+
+def measure(lp_builder, monkeypatch, scale):
+    sam, contracts, realized = make_scenario(lp_builder, **scale)
+
+    # End-to-end adjust (construction + assembly + HiGHS solve).
+    start = time.perf_counter()
+    plan = sam.adjust(contracts, {}, realized, now=2)
+    total_s = time.perf_counter() - start
+
+    # Construction only: intercept Model.solve to capture the built model.
+    captured = {}
+
+    def capture(model):
+        captured["model"] = model
+        raise _CaptureModel
+
+    with monkeypatch.context() as patch:
+        patch.setattr(Model, "solve", capture)
+        start = time.perf_counter()
+        try:
+            sam.adjust(contracts, {}, realized, now=2)
+        except _CaptureModel:
+            pass
+        build_s = time.perf_counter() - start
+
+    model = captured["model"]
+    start = time.perf_counter()
+    lp_solver._assemble(model)
+    assemble_s = time.perf_counter() - start
+    return {"plan": plan, "model": model, "total_s": total_s,
+            "build_s": build_s, "assemble_s": assemble_s}
+
+
+def bench_perf_lp_assembly(benchmark, record, monkeypatch):
+    scale_name = os.environ.get("BENCH_PERF_SCALE", "medium")
+    scale = SCALES[scale_name]
+
+    expr = benchmark.pedantic(measure, args=("expr", monkeypatch, scale),
+                              rounds=1, iterations=1)
+    coo = measure("coo", monkeypatch, scale)
+
+    # Equivalence: identical matrices imply identical plans.
+    key = lambda plan: [(t.rid, t.links, t.timestep, round(t.volume, 9))
+                        for t in plan]
+    assert key(expr["plan"]) == key(coo["plan"])
+    assert expr["model"].num_variables == coo["model"].num_variables
+    assert expr["model"].num_constraints == coo["model"].num_constraints
+
+    construct_expr = expr["build_s"] + expr["assemble_s"]
+    construct_coo = coo["build_s"] + coo["assemble_s"]
+    result = {
+        "scale": scale_name, **scale,
+        "num_variables": expr["model"].num_variables,
+        "num_constraints": expr["model"].num_constraints,
+        "expr": {"build_s": expr["build_s"],
+                 "assemble_s": expr["assemble_s"],
+                 "adjust_total_s": expr["total_s"]},
+        "coo": {"build_s": coo["build_s"],
+                "assemble_s": coo["assemble_s"],
+                "adjust_total_s": coo["total_s"]},
+        "speedup_construction": construct_expr / construct_coo,
+        "speedup_end_to_end": expr["total_s"] / coo["total_s"],
+    }
+    record(result)
+    print(f"\nLP construction+assembly ({scale_name}): "
+          f"expr {construct_expr * 1e3:.1f} ms, "
+          f"coo {construct_coo * 1e3:.1f} ms "
+          f"-> {result['speedup_construction']:.1f}x "
+          f"(end-to-end {result['speedup_end_to_end']:.1f}x)")

@@ -1,0 +1,80 @@
+"""Perf benchmark: heap-based RA quote vs the reference rescan greedy.
+
+Quotes a medium arrival stream twice — ``quote_path="scan"`` (the
+reference O(routes x window) rescan per menu segment) and ``"heap"``
+(vectorised head precompute + lazy-invalidation min-heap) — timing only
+the quote calls; admissions mutate state identically between quotes so
+both paths see the same reservations.  Menus must match exactly; the
+recorded JSON (``benchmarks/results/bench_perf_quote.json``) reports the
+timings and speedup.
+
+Timings are recorded, never gated (CI fails on crash, not slowness).
+Scale with ``BENCH_PERF_SCALE=small|medium`` (CI uses ``small``).
+"""
+
+import os
+import random
+import time
+
+from repro.core import (ByteRequest, NetworkState, PretiumConfig,
+                        RequestAdmission)
+from repro.network import small_wan
+
+SCALES = {
+    "small": dict(n_requests=25, n_steps=24, window=12),
+    "medium": dict(n_requests=120, n_steps=96, window=24),
+}
+
+
+def run_stream(quote_path, n_requests, n_steps, window):
+    """Quote+admit an arrival stream; returns (quote seconds, menus)."""
+    rng = random.Random(3)
+    topology = small_wan(seed=2)
+    config = PretiumConfig(window=window, lookback=window,
+                           quote_path=quote_path)
+    state = NetworkState(topology, n_steps, config)
+    ra = RequestAdmission(state)
+    nodes = list(topology.nodes)
+    quote_s = 0.0
+    menus = []
+    for rid in range(n_requests):
+        src, dst = rng.sample(nodes, 2)
+        start = rng.randrange(0, window)
+        deadline = min(n_steps - 1, start + rng.randrange(window // 2,
+                                                          2 * window + 12))
+        req = ByteRequest(rid, src, dst, rng.uniform(40.0, 200.0), 0,
+                          start, deadline, 1.0)
+        begin = time.perf_counter()
+        menu = ra.quote(req, now=0)
+        quote_s += time.perf_counter() - begin
+        menus.append(menu)
+        ra.admit(req, menu, req.demand, 0)
+    return quote_s, menus
+
+
+def bench_perf_quote(benchmark, record):
+    scale_name = os.environ.get("BENCH_PERF_SCALE", "medium")
+    scale = SCALES[scale_name]
+
+    scan_s, scan_menus = benchmark.pedantic(
+        run_stream, args=("scan",), kwargs=scale, rounds=1, iterations=1)
+    heap_s, heap_menus = run_stream("heap", **scale)
+
+    # The heap path must reproduce the reference menus exactly.
+    def key(menus):
+        return [[(s.quantity, s.unit_price, s.path.link_indices(),
+                  s.timestep) for s in m.segments] for m in menus]
+    assert key(scan_menus) == key(heap_menus)
+
+    n_segments = sum(len(m.segments) for m in scan_menus)
+    result = {
+        "scale": scale_name, **scale,
+        "n_segments": n_segments,
+        "scan_quote_s": scan_s,
+        "heap_quote_s": heap_s,
+        "speedup": scan_s / heap_s,
+    }
+    record(result)
+    print(f"\nRA quoting ({scale_name}, {n_segments} segments): "
+          f"scan {scan_s * 1e3:.1f} ms, heap {heap_s * 1e3:.1f} ms "
+          f"-> {result['speedup']:.1f}x")

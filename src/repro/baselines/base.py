@@ -17,7 +17,8 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..core.request import ByteRequest
-from ..lp import Model, add_sum_topk, quicksum
+from ..lp import LE, Model, add_sum_topk, add_sum_topk_coo, quicksum
+from ..lp.grouping import PairGroups
 from ..network import PathCache
 from ..sim.engine import RunResult
 from ..traffic.workload import Workload
@@ -56,7 +57,8 @@ def solve_offline_schedule(workload: Workload, items: list[ScheduleItem],
                            topk_encoding: str = "cvar",
                            include_costs: bool = True,
                            objective: str = "weighted",
-                           paths: PathCache | None = None
+                           paths: PathCache | None = None,
+                           builder: str = "coo"
                            ) -> OfflineSchedule:
     """Solve the offline routing LP over the full horizon.
 
@@ -72,10 +74,180 @@ def solve_offline_schedule(workload: Workload, items: list[ScheduleItem],
     bytes away to save cost.
 
     Both are subject to per-request caps and per-(link, timestep)
-    capacities.
+    capacities.  ``builder`` selects the construction path — ``"coo"``
+    (batched numpy triplets, the default) or ``"expr"`` (the reference
+    expression builder); both assemble the identical LP.
     """
     if objective not in ("weighted", "bytes_then_cost"):
         raise ValueError(f"unknown objective {objective!r}")
+    if builder not in ("coo", "expr"):
+        raise ValueError(f"unknown builder {builder!r}")
+    if builder == "coo":
+        return _solve_offline_schedule_coo(
+            workload, items, route_count, topk_fraction, topk_encoding,
+            include_costs, objective, paths)
+    return _solve_offline_schedule_expr(
+        workload, items, route_count, topk_fraction, topk_encoding,
+        include_costs, objective, paths)
+
+
+def _lexicographic_priority(topology) -> float:
+    """Big-M weight making volume dominate cost (``bytes_then_cost``).
+
+    A unit crosses at most a handful of metered links, each with marginal
+    proxy cost at most ``C_e`` (k >= 1), so any priority above that keeps
+    the volume stage lexicographically first in a single solve.
+    """
+    max_unit_cost = sum(sorted(
+        (link.cost_per_unit for link in topology.metered_links()),
+        reverse=True)[:4])
+    return 10.0 * max(1.0, max_unit_cost)
+
+
+def _solve_offline_schedule_coo(workload: Workload,
+                                items: list[ScheduleItem],
+                                route_count: int, topk_fraction: float,
+                                topk_encoding: str, include_costs: bool,
+                                objective: str,
+                                paths: PathCache | None) -> OfflineSchedule:
+    """Array-native twin of :func:`_solve_offline_schedule_expr` (same
+    emission order, so the solved schedule is identical)."""
+    topology = workload.topology
+    n_steps = workload.n_steps
+    paths = paths or PathCache(topology, k=route_count)
+    model = Model(sense="max", name="offline-schedule")
+
+    obj_cols: list[np.ndarray] = []
+    obj_vals: list[np.ndarray] = []
+    request_entries: list[tuple[int, np.ndarray, np.ndarray]] = []
+    inc_links: list[np.ndarray] = []
+    inc_steps: list[np.ndarray] = []
+    inc_vars: list[np.ndarray] = []
+    has_value_terms = False
+    n_value_arrays = 0
+    for item in items:
+        request = item.request
+        if item.cap <= EPS:
+            continue
+        routes = paths.routes(request.src, request.dst)
+        steps = np.arange(request.start, min(request.deadline + 1, n_steps))
+        if item.allowed_steps is not None:
+            steps = steps[[t in item.allowed_steps for t in steps.tolist()]]
+        n_vars = len(routes) * steps.size
+        if n_vars == 0:
+            continue
+        block = model.add_variables_array(
+            n_vars, f"x[{request.rid}]", lb=0.0)
+        flows = block.indices.reshape(len(routes), steps.size)
+        if item.weight:
+            has_value_terms = True
+            n_value_arrays += 1
+            obj_cols.append(flows.ravel())
+            obj_vals.append(np.full(n_vars, float(item.weight)))
+        for r, path in enumerate(routes):
+            request_entries.append((request.rid, steps, flows[r]))
+            link_indices = np.asarray(path.link_indices())
+            inc_links.append(np.tile(link_indices, steps.size))
+            inc_steps.append(np.repeat(steps, link_indices.size))
+            inc_vars.append(np.repeat(flows[r], link_indices.size))
+        model.add_constraints_coo(
+            np.zeros(n_vars, dtype=np.int64), flows.ravel(),
+            np.ones(n_vars), LE, item.cap, name=f"cap[{request.rid}]")
+
+    groups = PairGroups(
+        np.concatenate(inc_links) if inc_links else np.zeros(0, np.int64),
+        np.concatenate(inc_steps) if inc_steps else np.zeros(0, np.int64),
+        np.concatenate(inc_vars) if inc_vars else np.zeros(0, np.int64),
+        n_steps)
+    capacities = np.array([link.capacity for link in topology.links])
+    if groups.n:
+        model.add_constraints_coo(
+            groups.rows, groups.values, np.ones(groups.rows.size), LE,
+            capacities[groups.links].astype(float), name="edge")
+
+    n_cost_terms = 0
+    if include_costs:
+        billing = workload.steps_per_day
+        touched_links = set(groups.links.tolist())
+        for link in topology.metered_links():
+            if link.index not in touched_links:
+                continue
+            link_steps = groups.steps[groups.links == link.index]
+            window_starts = sorted({
+                (int(t) // billing) * billing for t in link_steps})
+            for window_start in window_starts:
+                window_end = min(window_start + billing, n_steps)
+                length = window_end - window_start
+                k = max(1, int(round(topk_fraction * length)))
+                window = np.arange(window_start, window_end)
+                ranks = [groups.rank_of(link.index, int(t)) for t in window]
+                flow_steps = np.array([rank is not None for rank in ranks])
+                ubs = np.zeros(length)
+                ubs[flow_steps] = np.inf
+                loads = model.add_variables_array(
+                    length, f"load[{link.index}]", lb=0.0, ub=ubs)
+                rows, cols, vals = [], [], []
+                row = 0
+                for j in np.nonzero(flow_steps)[0]:
+                    members = groups.members(ranks[j])
+                    rows.extend([row] * (1 + members.size))
+                    cols.append(loads.start + j)
+                    cols.extend(members.tolist())
+                    vals.extend([1.0] + [-1.0] * members.size)
+                    row += 1
+                if row:
+                    model.add_constraints_coo(
+                        rows, cols, vals, "==", np.zeros(row),
+                        name=f"load[{link.index}]")
+                bound = add_sum_topk_coo(
+                    model, loads.indices, k,
+                    name=f"z[{link.index},{window_start}]",
+                    encoding=topk_encoding)
+                obj_cols.append(np.array([bound]))
+                obj_vals.append(np.array([-(link.cost_per_unit / k)]))
+                n_cost_terms += 1
+
+    if not has_value_terms and n_cost_terms == 0:
+        return OfflineSchedule(np.zeros((n_steps, topology.num_links)), {},
+                               {}, 0.0)
+
+    if objective == "bytes_then_cost" and has_value_terms and n_cost_terms:
+        priority = _lexicographic_priority(topology)
+        obj_vals = [vals * priority if i < n_value_arrays else vals
+                    for i, vals in enumerate(obj_vals)]
+    model.set_objective_coo(np.concatenate(obj_cols),
+                            np.concatenate(obj_vals))
+    solution = model.solve()
+
+    x = solution.x
+    loads = np.zeros((n_steps, topology.num_links))
+    if groups.n:
+        per_pair = np.bincount(groups.rows, weights=x[groups.values],
+                               minlength=groups.n)
+        loads[groups.steps, groups.links] = per_pair
+    delivered: dict[int, float] = {}
+    per_step: dict[int, np.ndarray] = {}
+    series_by_rid: dict[int, np.ndarray] = {}
+    for rid, steps, variables in request_entries:
+        series = series_by_rid.setdefault(rid, np.zeros(n_steps))
+        np.add.at(series, steps, x[variables])
+    for rid, series in series_by_rid.items():
+        if series.sum() > EPS:
+            delivered[rid] = float(series.sum())
+            per_step[rid] = series
+
+    return OfflineSchedule(loads=loads, delivered=delivered,
+                           per_step=per_step,
+                           objective=float(solution.objective))
+
+
+def _solve_offline_schedule_expr(workload: Workload,
+                                 items: list[ScheduleItem],
+                                 route_count: int, topk_fraction: float,
+                                 topk_encoding: str, include_costs: bool,
+                                 objective: str,
+                                 paths: PathCache | None) -> OfflineSchedule:
+    """Reference expression-API builder (differential-test baseline)."""
     topology = workload.topology
     n_steps = workload.n_steps
     paths = paths or PathCache(topology, k=route_count)
@@ -150,16 +322,9 @@ def solve_offline_schedule(workload: Workload, items: list[ScheduleItem],
         model.set_objective((value_expr - quicksum(cost_terms))
                             if cost_terms else value_expr)
     else:
-        # Lexicographic big-M: volume strictly dominates cost as long as
-        # M exceeds the largest possible marginal cost of one unit (a
-        # full path of metered links at their top-k steps).  One solve
-        # instead of a (degenerate, slow) two-stage formulation.
-        # A unit crosses at most a handful of metered links, each with
-        # marginal proxy cost at most C_e (k >= 1).
-        max_unit_cost = sum(sorted(
-            (link.cost_per_unit for link in topology.metered_links()),
-            reverse=True)[:4])
-        priority = 10.0 * max(1.0, max_unit_cost)
+        # Lexicographic big-M: one solve instead of a (degenerate, slow)
+        # two-stage formulation.
+        priority = _lexicographic_priority(topology)
         model.set_objective(priority * value_expr - quicksum(cost_terms))
     solution = model.solve()
 

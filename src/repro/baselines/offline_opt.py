@@ -24,10 +24,11 @@ class OfflineOptimal(OfflineScheme):
     name = "OPT"
 
     def __init__(self, route_count: int = 3, topk_fraction: float = 0.1,
-                 topk_encoding: str = "cvar") -> None:
+                 topk_encoding: str = "cvar", builder: str = "coo") -> None:
         self.route_count = route_count
         self.topk_fraction = topk_fraction
         self.topk_encoding = topk_encoding
+        self.builder = builder
 
     def run(self, workload: Workload) -> RunResult:
         items = [ScheduleItem(request=r, weight=r.value, cap=r.demand)
@@ -35,6 +36,7 @@ class OfflineOptimal(OfflineScheme):
         schedule = solve_offline_schedule(
             workload, items, route_count=self.route_count,
             topk_fraction=self.topk_fraction,
-            topk_encoding=self.topk_encoding, include_costs=True)
+            topk_encoding=self.topk_encoding, include_costs=True,
+            builder=self.builder)
         return run_result(workload, self.name, schedule,
                           extras={"objective": schedule.objective})

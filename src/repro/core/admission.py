@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from ..network import Path
 from .menu import MenuSegment, PriceMenu
+from .quote_fast import quote_heap
 from .request import ByteRequest
 from .state import NetworkState
 
@@ -119,7 +120,17 @@ class RequestAdmission:
         Stops once the request's full demand is covered (quoting beyond
         the demand would never be purchased).  Marginal prices only rise
         as segments fill, so the menu is convex by construction.
+
+        Dispatches on ``config.quote_path``: the heap-based fast path
+        (:mod:`repro.core.quote_fast`) by default, or the reference
+        full-rescan greedy — both produce the same menu.
         """
+        if self.state.config.quote_path == "heap":
+            return quote_heap(self.state, request, now)
+        return self.quote_reference(request, now)
+
+    def quote_reference(self, request: ByteRequest, now: int) -> PriceMenu:
+        """The reference O(routes x window) rescan-per-segment greedy."""
         routes = self.state.paths.routes(request.src, request.dst)
         config = self.state.config
         if not routes:

@@ -65,6 +65,16 @@ class PretiumConfig:
     allow_best_effort:
         Whether users may ask for volume beyond the guarantee bound
         ``x̄`` (routed best-effort at the marginal price, §4.1).
+    quote_path:
+        Implementation of the RA quote: ``"heap"`` (default; vectorised
+        precompute + lazy-invalidation min-heap, O(log n) per greedy
+        segment) or ``"scan"`` (the reference full rescan per segment).
+        Both produce the same menus.
+    lp_builder:
+        Construction path for the SAM/PC/offline LPs: ``"coo"`` (default;
+        batched numpy triplets through ``Model.add_constraints_coo``) or
+        ``"expr"`` (the reference term-by-term expression builder).  Both
+        assemble the identical matrix.
     """
 
     route_count: int = 3
@@ -83,6 +93,8 @@ class PretiumConfig:
     short_term_adjustment: bool = True
     allow_best_effort: bool = True
     initial_leveling_steps: int | None = None
+    quote_path: str = "heap"
+    lp_builder: str = "coo"
 
     @property
     def initial_metered_leveling(self) -> int:
@@ -121,3 +133,7 @@ class PretiumConfig:
             raise ValueError("percentile out of range")
         if not 0.0 <= self.highpri_fraction < 1.0:
             raise ValueError("highpri_fraction must be in [0, 1)")
+        if self.quote_path not in ("heap", "scan"):
+            raise ValueError(f"unknown quote_path {self.quote_path!r}")
+        if self.lp_builder not in ("coo", "expr"):
+            raise ValueError(f"unknown lp_builder {self.lp_builder!r}")

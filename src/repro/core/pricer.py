@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..lp import Model, add_sum_topk, quicksum
+from ..lp import LE, Model, add_sum_topk, add_sum_topk_coo, quicksum
+from ..lp.grouping import PairGroups
 from .admission import EPS, Contract
 from .state import NetworkState
 
@@ -75,7 +76,141 @@ class PriceComputer:
         metered cost gradient) and a boolean mask of the (timestep, link)
         pairs whose cost gradient the LP actually modelled; both arrays
         are ``(period_len, n_links)`` with period-relative rows.
+
+        Dispatches on ``config.lp_builder`` between the batched COO twin
+        and the reference expression builder; both assemble the identical
+        matrix, so duals (and therefore prices) agree exactly.
         """
+        if self.state.config.lp_builder == "coo":
+            return self._solve_offline_coo(contracts, period_start,
+                                           period_end)
+        return self._solve_offline_expr(contracts, period_start, period_end)
+
+    def _solve_offline_coo(self, contracts: list[Contract],
+                           period_start: int, period_end: int
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """Array-native twin of :meth:`_solve_offline_expr` (same
+        variable/constraint emission order, so HiGHS returns the same
+        degenerate dual vertex)."""
+        state = self.state
+        config = state.config
+        n_links = state.topology.num_links
+        period_len = period_end - period_start
+        model = Model(sense="max", name=f"pc@{period_end}")
+
+        obj_cols: list[np.ndarray] = []
+        obj_vals: list[np.ndarray] = []
+        inc_links: list[np.ndarray] = []
+        inc_steps: list[np.ndarray] = []
+        inc_vars: list[np.ndarray] = []
+        for contract in contracts:
+            request = contract.request
+            routes = state.paths.routes(request.src, request.dst)
+            first = max(request.start, period_start)
+            last = min(request.deadline, period_end - 1)
+            steps = np.arange(first, last + 1)
+            n_vars = len(routes) * steps.size
+            if n_vars == 0:
+                continue
+            block = model.add_variables_array(
+                n_vars, f"x[{contract.rid}]", lb=0.0)
+            flows = block.indices.reshape(len(routes), steps.size)
+            obj_cols.append(flows.ravel())
+            obj_vals.append(np.full(n_vars, contract.marginal_price))
+            for r, path in enumerate(routes):
+                link_indices = np.asarray(path.link_indices())
+                inc_links.append(np.tile(link_indices, steps.size))
+                inc_steps.append(np.repeat(steps, link_indices.size))
+                inc_vars.append(np.repeat(flows[r], link_indices.size))
+            model.add_constraints_coo(
+                np.zeros(n_vars, dtype=np.int64), flows.ravel(),
+                np.ones(n_vars), LE, contract.chosen,
+                name=f"demand[{contract.rid}]")
+
+        groups = PairGroups(
+            np.concatenate(inc_links) if inc_links else np.zeros(0, np.int64),
+            np.concatenate(inc_steps) if inc_steps else np.zeros(0, np.int64),
+            np.concatenate(inc_vars) if inc_vars else np.zeros(0, np.int64),
+            state.n_steps)
+        cap_block = None
+        if groups.n:
+            caps = state.capacity[groups.steps, groups.links].astype(float)
+            cap_block = model.add_constraints_coo(
+                groups.rows, groups.values, np.ones(groups.rows.size),
+                LE, caps, name="cap")
+
+        # Percentile-cost proxy; one load-coupling equality per window
+        # step (its dual carries the cost gradient — see the reference
+        # builder for why the LP dual, not a top-k rule, is used).
+        load_blocks: list[tuple[int, int, np.ndarray, object]] = []
+        touched_links = set(groups.links.tolist())
+        for link in state.topology.metered_links():
+            if link.index not in touched_links:
+                continue
+            link_steps = groups.steps[groups.links == link.index]
+            window_starts = sorted({
+                (int(t) // self.billing_window) * self.billing_window
+                for t in link_steps})
+            for window_start in window_starts:
+                window_end = min(window_start + self.billing_window,
+                                 state.n_steps)
+                length = window_end - window_start
+                k = max(1, int(round(config.topk_fraction * length)))
+                window = np.arange(window_start, window_end)
+                loads = model.add_variables_array(
+                    length, f"load[{link.index}]", lb=0.0)
+                rows, cols, vals = [], [], []
+                for j, t in enumerate(window):
+                    rank = groups.rank_of(link.index, int(t))
+                    members = groups.members(rank) if rank is not None \
+                        else np.zeros(0, np.int64)
+                    rows.extend([j] * (1 + members.size))
+                    cols.append(loads.start + j)
+                    cols.extend(members.tolist())
+                    vals.extend([1.0] + [-1.0] * members.size)
+                block = model.add_constraints_coo(
+                    rows, cols, vals, "==", np.zeros(length),
+                    name=f"load[{link.index}]")
+                load_blocks.append((link.index, window_start, window, block))
+                bound = add_sum_topk_coo(
+                    model, loads.indices, k,
+                    name=f"z[{link.index},{window_start}]",
+                    encoding=config.topk_encoding)
+                obj_cols.append(np.array([bound]))
+                obj_vals.append(np.array([-(link.cost_per_unit / k)]))
+
+        model.set_objective_coo(
+            np.concatenate(obj_cols) if obj_cols else np.zeros(0, np.int64),
+            np.concatenate(obj_vals) if obj_vals else np.zeros(0))
+        solution = model.solve()
+
+        duals = np.zeros((period_len, n_links))
+        if cap_block is not None:
+            cap_duals = np.maximum(0.0, solution.dual_array(cap_block))
+            in_period = (groups.steps >= period_start) \
+                & (groups.steps < period_end)
+            duals[groups.steps[in_period] - period_start,
+                  groups.links[in_period]] = cap_duals[in_period]
+        # Cost gradients, redistributed uniformly per billing window and
+        # capped at the levelled marginal cost (same policy and rationale
+        # as the reference builder).
+        covered = np.zeros((period_len, n_links), dtype=bool)
+        leveling = config.initial_metered_leveling
+        unit_cost = {link.index: link.cost_per_unit
+                     for link in state.topology.metered_links()}
+        for index, _window_start, window, block in load_blocks:
+            mass = float(np.maximum(
+                0.0, -solution.dual_array(block)).sum())
+            uniform = min(mass / window.size, unit_cost[index] / leveling)
+            sel = (window >= period_start) & (window < period_end)
+            duals[window[sel] - period_start, index] += uniform
+            covered[window[sel] - period_start, index] = True
+        return duals, covered
+
+    def _solve_offline_expr(self, contracts: list[Contract],
+                            period_start: int, period_end: int
+                            ) -> tuple[np.ndarray, np.ndarray]:
+        """Reference expression-API builder (differential-test baseline)."""
         state = self.state
         config = state.config
         n_links = state.topology.num_links

@@ -24,7 +24,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..lp import InfeasibleError, Model, add_sum_topk, quicksum
+from ..lp import GE, LE, InfeasibleError, Model, add_sum_topk, \
+    add_sum_topk_coo, quicksum
+from ..lp.grouping import PairGroups
 from ..network import Path
 from .admission import EPS, Contract
 from .state import NetworkState
@@ -81,6 +83,181 @@ class ScheduleAdjuster:
     def _solve(self, active: list[Contract], delivered: dict[int, float],
                realized_loads: np.ndarray, now: int,
                enforce_guarantees: bool) -> list[Transmission]:
+        """Dispatch on ``config.lp_builder``: batched COO (default) or the
+        reference expression builder.  Both assemble the same matrix."""
+        if self.state.config.lp_builder == "coo":
+            return self._solve_coo(active, delivered, realized_loads, now,
+                                   enforce_guarantees)
+        return self._solve_expr(active, delivered, realized_loads, now,
+                                enforce_guarantees)
+
+    def _solve_coo(self, active: list[Contract], delivered: dict[int, float],
+                   realized_loads: np.ndarray, now: int,
+                   enforce_guarantees: bool) -> list[Transmission]:
+        """Array-native twin of :meth:`_solve_expr`.
+
+        Variables and constraints are emitted in exactly the reference
+        order (contract flows + demand/guarantee rows, then capacity and
+        smoothing rows per first-encountered (link, timestep) pair, then
+        the per-window percentile-cost proxy), so HiGHS sees the
+        identical LP and returns the identical plan and duals.
+        """
+        state = self.state
+        config = state.config
+        model = Model(sense="max", name=f"sam@{now}")
+
+        obj_cols: list[np.ndarray] = []
+        obj_vals: list[np.ndarray] = []
+        plan_entries: list[tuple[Contract, Path, np.ndarray, np.ndarray]] = []
+        inc_links: list[np.ndarray] = []
+        inc_steps: list[np.ndarray] = []
+        inc_vars: list[np.ndarray] = []
+        for contract in active:
+            request = contract.request
+            routes = state.paths.routes(request.src, request.dst)
+            first = max(request.start, now)
+            steps = np.arange(first, request.deadline + 1)
+            n_vars = len(routes) * steps.size
+            if n_vars == 0:
+                continue
+            remaining_cap = contract.chosen - delivered.get(contract.rid, 0.0)
+            block = model.add_variables_array(
+                n_vars, f"x[{contract.rid}]", lb=0.0, ub=remaining_cap)
+            flows = block.indices.reshape(len(routes), steps.size)
+            obj_cols.append(flows.ravel())
+            obj_vals.append(np.full(n_vars, contract.marginal_price))
+            for r, path in enumerate(routes):
+                plan_entries.append((contract, path, steps, flows[r]))
+                link_indices = np.asarray(path.link_indices())
+                inc_links.append(np.tile(link_indices, steps.size))
+                inc_steps.append(np.repeat(steps, link_indices.size))
+                inc_vars.append(np.repeat(flows[r], link_indices.size))
+            rows = [np.zeros(n_vars, dtype=np.int64)]
+            senses = [LE]
+            rhs = [remaining_cap]
+            if enforce_guarantees:
+                need = contract.guaranteed - delivered.get(contract.rid, 0.0)
+                if need > EPS:
+                    rows.append(np.ones(n_vars, dtype=np.int64))
+                    senses.append(GE)
+                    rhs.append(need)
+            model.add_constraints_coo(
+                np.concatenate(rows), np.tile(flows.ravel(), len(rows)),
+                np.ones(n_vars * len(rows)), senses, rhs,
+                name=f"demand[{contract.rid}]")
+
+        groups = PairGroups(
+            np.concatenate(inc_links) if inc_links else np.zeros(0, np.int64),
+            np.concatenate(inc_steps) if inc_steps else np.zeros(0, np.int64),
+            np.concatenate(inc_vars) if inc_vars else np.zeros(0, np.int64),
+            state.n_steps)
+
+        # Capacity per touched (link, timestep) pair, with the smoothing
+        # overflow nudge interleaved exactly as the reference builder
+        # emits it (see _solve_expr for the rationale).
+        caps = state.capacity[groups.steps, groups.links].astype(float)
+        smoothing_weight = config.price_floor * 0.1
+        smoothing = config.short_term_adjustment and smoothing_weight > 0 \
+            and groups.n > 0
+        n_entries = groups.rows.size
+        if smoothing:
+            over = model.add_variables_array(groups.n, "over", lb=0.0)
+            rows = np.concatenate([2 * groups.rows, 2 * groups.rows + 1,
+                                   2 * np.arange(groups.n) + 1])
+            cols = np.concatenate([groups.values, groups.values,
+                                   over.indices])
+            vals = np.concatenate([np.ones(n_entries), -np.ones(n_entries),
+                                   np.ones(groups.n)])
+            senses = np.tile(np.array([LE, GE]), groups.n)
+            rhs = np.empty(2 * groups.n)
+            rhs[0::2] = caps
+            rhs[1::2] = -(config.congestion_threshold * caps)
+            model.add_constraints_coo(rows, cols, vals, senses, rhs,
+                                      name="cap")
+            obj_cols.append(over.indices)
+            obj_vals.append(np.full(groups.n, -smoothing_weight))
+        elif groups.n:
+            model.add_constraints_coo(groups.rows, groups.values,
+                                      np.ones(n_entries), LE, caps,
+                                      name="cap")
+
+        self._cost_proxy_coo(model, groups, realized_loads, now,
+                             obj_cols, obj_vals)
+
+        model.set_objective_coo(
+            np.concatenate(obj_cols) if obj_cols else np.zeros(0, np.int64),
+            np.concatenate(obj_vals) if obj_vals else np.zeros(0))
+        solution = model.solve()
+
+        x = solution.x
+        plan = []
+        for contract, path, steps, variables in plan_entries:
+            volumes = x[variables]
+            links = path.link_indices()
+            for j in np.nonzero(volumes > EPS)[0]:
+                plan.append(Transmission(contract.rid, links,
+                                         int(steps[j]), float(volumes[j])))
+        return plan
+
+    def _cost_proxy_coo(self, model: Model, groups: PairGroups,
+                        realized_loads: np.ndarray, now: int,
+                        obj_cols: list[np.ndarray],
+                        obj_vals: list[np.ndarray]) -> None:
+        """COO twin of :meth:`_cost_proxy_terms` (same emission order)."""
+        state = self.state
+        config = state.config
+        touched_links = set(groups.links.tolist())
+        for link in state.topology.metered_links():
+            if link.index not in touched_links:
+                continue
+            link_steps = groups.steps[groups.links == link.index]
+            window_starts = sorted({
+                (int(t) // self.billing_window) * self.billing_window
+                for t in link_steps})
+            for window_start in window_starts:
+                window_end = min(window_start + self.billing_window,
+                                 state.n_steps)
+                length = window_end - window_start
+                k = max(1, int(round(config.topk_fraction * length)))
+                window = np.arange(window_start, window_end)
+                ranks = [groups.rank_of(link.index, int(t)) for t in window]
+                # Load variables per window step: realised past steps are
+                # pinned (lb == ub), steps without flows pinned to zero.
+                lbs = np.zeros(length)
+                ubs = np.zeros(length)
+                past = window < now
+                lbs[past] = realized_loads[window[past], link.index]
+                ubs[past] = lbs[past]
+                flow_steps = np.array([rank is not None for rank in ranks]) \
+                    & ~past
+                ubs[flow_steps] = np.inf
+                loads = model.add_variables_array(
+                    length, f"load[{link.index}]", lb=lbs, ub=ubs)
+                rows, cols, vals = [], [], []
+                row = 0
+                for j in np.nonzero(flow_steps)[0]:
+                    flows = groups.members(ranks[j])
+                    rows.extend([row] * (1 + flows.size))
+                    cols.append(loads.start + j)
+                    cols.extend(flows.tolist())
+                    vals.extend([1.0] + [-1.0] * flows.size)
+                    row += 1
+                if row:
+                    model.add_constraints_coo(
+                        rows, cols, vals, "==", np.zeros(row),
+                        name=f"load[{link.index}]")
+                bound = add_sum_topk_coo(
+                    model, loads.indices, k,
+                    name=f"z[{link.index},{window_start}]",
+                    encoding=config.topk_encoding)
+                obj_cols.append(np.array([bound]))
+                obj_vals.append(np.array([-(link.cost_per_unit / k)]))
+
+    def _solve_expr(self, active: list[Contract],
+                    delivered: dict[int, float],
+                    realized_loads: np.ndarray, now: int,
+                    enforce_guarantees: bool) -> list[Transmission]:
+        """Reference expression-API builder (differential-test baseline)."""
         state = self.state
         config = state.config
         horizon = min(state.n_steps - 1,

@@ -63,7 +63,7 @@ class NetworkState:
     def residual_on_path(self, path: Path, t: int) -> float:
         """Bottleneck residual along ``path`` at timestep ``t``."""
         residual = self.residual(t)
-        return float(min(residual[i] for i in path.link_indices()))
+        return float(residual[np.asarray(path.link_indices())].min())
 
     def fail_link(self, src: str, dst: str, start: int,
                   end: int | None = None) -> None:
@@ -115,6 +115,37 @@ class NetworkState:
                              price * self.config.congestion_multiplier))
         return segments
 
+    def head_price_grid(self, steps, link_indices, reserved
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised first segments of :meth:`price_segments`.
+
+        For every (timestep, link) in ``steps × link_indices``, given the
+        (scratch) ``reserved`` grid of the same shape, return two arrays:
+        the marginal price of the link's *current* segment and the volume
+        available at it.  Exhausted link-steps get availability 0.  This
+        is the precomputation behind the heap-based quote: one array pass
+        replaces a ``price_segments`` call per (link, timestep).
+        """
+        grid = np.ix_(np.asarray(steps), np.asarray(link_indices))
+        capacity = self.capacity[grid]
+        price = self.prices[grid]
+        reserved = np.asarray(reserved, dtype=float)
+        available = capacity - reserved
+        if self.config.short_term_adjustment:
+            cheap_left = np.maximum(
+                0.0, self.config.congestion_threshold * capacity - reserved)
+            in_cheap = cheap_left > 1e-12
+            head_price = np.where(
+                in_cheap, price, price * self.config.congestion_multiplier)
+            head_avail = np.where(in_cheap,
+                                  np.minimum(cheap_left, available),
+                                  available - cheap_left)
+        else:
+            head_price = price.copy()
+            head_avail = available.copy()
+        head_avail[(available <= 1e-12) | (head_avail <= 1e-12)] = 0.0
+        return head_price, head_avail
+
     # -- plan ------------------------------------------------------------
     def reserve(self, rid: int, path: "Path | tuple[int, ...]", t: int,
                 volume: float) -> None:
@@ -165,5 +196,8 @@ class NetworkState:
         window = prices.shape[0]
         floor = self.config.price_floor
         tiled = np.maximum(prices, floor)
-        for offset in range(0, self.n_steps - start):
-            self.prices[start + offset] = tiled[offset % window]
+        span = self.n_steps - start
+        if span <= 0:
+            return
+        repeats = -(-span // window)  # ceil division
+        self.prices[start:] = np.tile(tiled, (repeats, 1))[:span]

@@ -7,17 +7,20 @@ This replaces the Gurobi dependency of the original Pretium implementation.
 
 from .errors import (InfeasibleError, LPError, ModelError, SolverError,
                      UnboundedError)
-from .model import (Constraint, LinExpr, Model, Variable, quicksum,
-                    weighted_sum)
+from .model import (EQ, GE, LE, Constraint, ConstraintBlock, LinExpr, Model,
+                    Variable, VariableBlock, quicksum, weighted_sum)
 from .solver import Solution, solve_model
-from .topk import (TOPK_ENCODINGS, add_sum_topk, add_sum_topk_cvar,
-                   add_sum_topk_sorting, sum_topk_exact,
-                   topk_constraint_count)
+from .topk import (TOPK_ENCODINGS, add_sum_topk, add_sum_topk_coo,
+                   add_sum_topk_cvar, add_sum_topk_cvar_coo,
+                   add_sum_topk_sorting, add_sum_topk_sorting_coo,
+                   sum_topk_exact, topk_constraint_count)
 
 __all__ = [
-    "Constraint", "InfeasibleError", "LPError", "LinExpr", "Model",
-    "ModelError", "Solution", "SolverError", "TOPK_ENCODINGS",
-    "UnboundedError", "Variable", "add_sum_topk", "add_sum_topk_cvar",
-    "add_sum_topk_sorting", "quicksum", "solve_model", "sum_topk_exact",
+    "Constraint", "ConstraintBlock", "EQ", "GE", "InfeasibleError", "LE",
+    "LPError", "LinExpr", "Model", "ModelError", "Solution", "SolverError",
+    "TOPK_ENCODINGS", "UnboundedError", "Variable", "VariableBlock",
+    "add_sum_topk", "add_sum_topk_coo", "add_sum_topk_cvar",
+    "add_sum_topk_cvar_coo", "add_sum_topk_sorting",
+    "add_sum_topk_sorting_coo", "quicksum", "solve_model", "sum_topk_exact",
     "topk_constraint_count", "weighted_sum",
 ]

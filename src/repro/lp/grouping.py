@@ -1,0 +1,72 @@
+"""Insertion-ordered grouping of COO entries by a (link, timestep) key.
+
+The batched LP builders (SAM, PC, offline baselines) all share one step:
+flatten every (variable, link, timestep) incidence into parallel arrays,
+then group the entries per (link, timestep) pair to emit one capacity (or
+load-coupling) constraint row per pair.  The expression builders did this
+with a ``dict.setdefault`` whose insertion order determined the
+constraint row order; this helper reproduces that order with numpy so the
+two construction paths assemble the identical matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PairGroups:
+    """Entries grouped by (link, step), ranks in first-encounter order.
+
+    Parameters are parallel per-entry arrays.  ``n_steps`` bounds the step
+    values so the pair can be packed into one integer key.
+
+    Attributes
+    ----------
+    n:
+        Number of distinct (link, step) pairs.
+    rows:
+        Per-entry group rank — usable directly as COO row indices.
+    values:
+        The entry values in original order (aligned with ``rows``).
+    links, steps:
+        Per-rank link index and timestep, in first-encounter order.
+    """
+
+    __slots__ = ("n", "rows", "values", "links", "steps", "_sorted_values",
+                 "_offsets", "_rank_index")
+
+    def __init__(self, links: np.ndarray, steps: np.ndarray,
+                 values: np.ndarray, n_steps: int) -> None:
+        links = np.asarray(links, dtype=np.int64)
+        steps = np.asarray(steps, dtype=np.int64)
+        values = np.asarray(values)
+        keys = links * int(n_steps) + steps
+        uniq, first_pos, inverse = np.unique(
+            keys, return_index=True, return_inverse=True)
+        order = np.argsort(first_pos, kind="stable")
+        rank_of_uniq = np.empty(uniq.size, dtype=np.int64)
+        rank_of_uniq[order] = np.arange(uniq.size)
+        self.n = int(uniq.size)
+        self.rows = rank_of_uniq[inverse]
+        self.values = values
+        self.links = links[first_pos[order]]
+        self.steps = steps[first_pos[order]]
+        # Per-group value slices, preserving original entry order.
+        sort_idx = np.argsort(self.rows, kind="stable")
+        self._sorted_values = values[sort_idx]
+        counts = np.bincount(self.rows, minlength=self.n)
+        self._offsets = np.concatenate(([0], np.cumsum(counts)))
+        self._rank_index: dict[tuple[int, int], int] | None = None
+
+    def members(self, rank: int) -> np.ndarray:
+        """Values of the entries in group ``rank`` (original order)."""
+        return self._sorted_values[
+            self._offsets[rank]:self._offsets[rank + 1]]
+
+    def rank_of(self, link: int, step: int) -> int | None:
+        """Group rank of a (link, step) pair, or ``None`` if absent."""
+        if self._rank_index is None:
+            self._rank_index = {
+                (int(link), int(t)): rank
+                for rank, (link, t) in enumerate(zip(self.links, self.steps))}
+        return self._rank_index.get((link, step))

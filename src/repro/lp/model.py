@@ -24,8 +24,11 @@ the quantity Pretium's price computer publishes as a link price.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import math
+from collections.abc import Iterable, Sequence
 from typing import Optional, Union
+
+import numpy as np
 
 from .errors import ModelError
 
@@ -33,6 +36,9 @@ Number = Union[int, float]
 
 #: Senses accepted by :class:`Constraint`.
 LE, GE, EQ = "<=", ">=", "=="
+
+#: Compact sense codes used by the batched (COO) construction path.
+SENSE_CODES = {LE: 0, GE: 1, EQ: 2}
 
 
 class Variable:
@@ -253,8 +259,126 @@ class Constraint:
         return f"Constraint({label}: {self.expr!r} {self.sense} 0)"
 
 
+class VariableBlock:
+    """A contiguous run of variables created by :meth:`Model.add_variables_array`.
+
+    The block stores only the index range; no per-variable Python objects
+    are created.  ``block[i]`` materialises a :class:`Variable` on demand
+    for interop with the expression API.
+    """
+
+    __slots__ = ("start", "count", "prefix", "_model")
+
+    def __init__(self, start: int, count: int, prefix: str,
+                 model: "Model") -> None:
+        self.start = start
+        self.count = count
+        self.prefix = prefix
+        self._model = model
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.count
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Dense variable indices covered by the block."""
+        return np.arange(self.start, self.stop)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, i: int) -> Variable:
+        if not 0 <= i < self.count:
+            raise IndexError(f"block index {i} out of range 0..{self.count - 1}")
+        index = self.start + i
+        return Variable(index, f"{self.prefix}[{i}]",
+                        self._model._lb[index], self._model._ub[index],
+                        self._model._model_id)
+
+    def __iter__(self):
+        return (self[i] for i in range(self.count))
+
+    def __repr__(self) -> str:
+        return f"VariableBlock({self.prefix!r}, [{self.start}:{self.stop}))"
+
+
+class ConstraintBlock:
+    """A batch of constraints added as COO triplets in one call.
+
+    Rows are identified by their *global* constraint indices
+    ``start .. start + count - 1`` (interleaved with expression
+    constraints in creation order); duals are read back with
+    :meth:`repro.lp.solver.Solution.dual_array`.
+    """
+
+    __slots__ = ("start", "count", "name", "rows", "cols", "vals", "codes",
+                 "rhs")
+
+    def __init__(self, start: int, count: int, name: str, rows: np.ndarray,
+                 cols: np.ndarray, vals: np.ndarray, codes: np.ndarray,
+                 rhs: np.ndarray) -> None:
+        self.start = start
+        self.count = count
+        self.name = name
+        self.rows = rows
+        self.cols = cols
+        self.vals = vals
+        self.codes = codes
+        self.rhs = rhs
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.count
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Global constraint indices covered by the block."""
+        return np.arange(self.start, self.stop)
+
+    def index_of(self, row: int) -> int:
+        """Global constraint index of the block-local ``row``."""
+        if not 0 <= row < self.count:
+            raise IndexError(f"row {row} out of range 0..{self.count - 1}")
+        return self.start + row
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"ConstraintBlock({self.name!r}, [{self.start}:{self.stop}), "
+                f"{len(self.vals)} entries)")
+
+
+def _bound_list(value, count: int) -> list:
+    """Normalise a scalar-or-array bound spec to a per-variable list.
+
+    ``None``/``±inf`` mean unbounded (stored as ``None``, which is what
+    scipy's ``linprog`` expects).
+    """
+    if value is None:
+        return [None] * count
+    if isinstance(value, (int, float)):
+        v = None if math.isinf(value) else float(value)
+        return [v] * count
+    arr = np.asarray(value, dtype=float)
+    if arr.shape != (count,):
+        raise ModelError(f"bound array has shape {arr.shape}, "
+                         f"expected ({count},)")
+    return [None if math.isinf(v) else float(v) for v in arr]
+
+
 class Model:
     """A linear program under construction.
+
+    Two construction paths share one constraint/variable index space:
+
+    - the *expression* API (:meth:`add_variable`, :meth:`add_constraint`,
+      operator overloading) — convenient for tests and small models;
+    - the *batched* API (:meth:`add_variables_array`,
+      :meth:`add_constraints_coo`, :meth:`set_objective_coo`) — numpy
+      triplets that the solver concatenates without touching per-term
+      Python objects, used by the hot LP builders (SAM/PC/offline).
 
     Parameters
     ----------
@@ -274,8 +398,31 @@ class Model:
         self.variables: list[Variable] = []
         self.constraints: list[Constraint] = []
         self.objective: Optional[LinExpr] = None
+        self._objective_coo: Optional[tuple[np.ndarray, np.ndarray,
+                                            float]] = None
+        self._num_vars = 0
+        self._num_cons = 0
+        self._lb: list = []
+        self._ub: list = []
+        #: Constraint | ConstraintBlock, in global creation order.
+        self._records: list = []
         Model._next_model_id += 1
         self._model_id = Model._next_model_id
+
+    # -- introspection -------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        """Total variables, across both construction paths."""
+        return self._num_vars
+
+    @property
+    def num_constraints(self) -> int:
+        """Total constraints (expression + COO rows)."""
+        return self._num_cons
+
+    def bounds(self) -> list[tuple]:
+        """Per-variable ``(lb, ub)`` pairs (``None`` = unbounded)."""
+        return list(zip(self._lb, self._ub))
 
     # -- building ------------------------------------------------------
     def add_variable(self, name: str = "", lb: Optional[float] = 0.0,
@@ -283,9 +430,12 @@ class Model:
         """Create a variable with bounds ``[lb, ub]`` (``None`` = infinite)."""
         if lb is not None and ub is not None and lb > ub + 1e-12:
             raise ModelError(f"variable {name!r}: lb {lb} > ub {ub}")
-        var = Variable(len(self.variables), name or f"x{len(self.variables)}",
+        var = Variable(self._num_vars, name or f"x{self._num_vars}",
                        lb, ub, self._model_id)
         self.variables.append(var)
+        self._lb.append(lb)
+        self._ub.append(ub)
+        self._num_vars += 1
         return var
 
     def add_variables(self, count: int, prefix: str = "x",
@@ -294,6 +444,29 @@ class Model:
         """Create ``count`` variables named ``prefix[i]`` with shared bounds."""
         return [self.add_variable(f"{prefix}[{i}]", lb=lb, ub=ub)
                 for i in range(count)]
+
+    def add_variables_array(self, count: int, prefix: str = "x",
+                            lb=0.0, ub=None) -> VariableBlock:
+        """Create ``count`` variables at once, returning an index block.
+
+        ``lb``/``ub`` may be scalars (shared by all variables) or arrays of
+        length ``count`` (per-variable bounds; ``±inf`` means unbounded).
+        No :class:`Variable` objects are created — use the returned
+        :class:`VariableBlock`'s ``indices`` with the COO constraint and
+        objective builders, or ``block[i]`` to materialise one lazily.
+        """
+        if count < 0:
+            raise ModelError(f"variable count must be >= 0, got {count}")
+        lbs = _bound_list(lb, count)
+        ubs = _bound_list(ub, count)
+        for i, (lo, hi) in enumerate(zip(lbs, ubs)):
+            if lo is not None and hi is not None and lo > hi + 1e-12:
+                raise ModelError(f"variable {prefix}[{i}]: lb {lo} > ub {hi}")
+        block = VariableBlock(self._num_vars, count, prefix, self)
+        self._lb.extend(lbs)
+        self._ub.extend(ubs)
+        self._num_vars += count
+        return block
 
     def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
         """Register a constraint built via expression comparison."""
@@ -305,9 +478,60 @@ class Model:
             raise ModelError("constraint uses variables from another model")
         if name:
             constraint.name = name
-        constraint.index = len(self.constraints)
+        constraint.index = self._num_cons
         self.constraints.append(constraint)
+        self._records.append(constraint)
+        self._num_cons += 1
         return constraint
+
+    def add_constraints_coo(self, rows, cols, vals, senses, rhs,
+                            name: str = "") -> ConstraintBlock:
+        """Add a batch of constraints from COO triplets.
+
+        Parameters
+        ----------
+        rows, cols, vals:
+            Parallel arrays: entry ``i`` contributes ``vals[i]`` to the
+            coefficient of variable ``cols[i]`` in block-local row
+            ``rows[i]``.  Duplicate (row, col) entries are summed.
+        senses:
+            One sense string (``"<="``, ``">="`` or ``"=="``) shared by
+            every row, or a sequence with one sense per row.
+        rhs:
+            Right-hand side per row (scalar or array).  Its length defines
+            the number of rows in the block.
+        """
+        rhs_arr = np.atleast_1d(np.asarray(rhs, dtype=np.float64))
+        count = rhs_arr.size
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        cols_arr = np.asarray(cols, dtype=np.int64)
+        vals_arr = np.asarray(vals, dtype=np.float64)
+        if not (rows_arr.shape == cols_arr.shape == vals_arr.shape):
+            raise ModelError("rows, cols and vals must have matching shapes")
+        if rows_arr.size and (rows_arr.min() < 0 or rows_arr.max() >= count):
+            raise ModelError(f"row index out of range 0..{count - 1}")
+        if cols_arr.size and (cols_arr.min() < 0
+                              or cols_arr.max() >= self._num_vars):
+            raise ModelError("column index references an unknown variable")
+        if isinstance(senses, str):
+            if senses not in SENSE_CODES:
+                raise ModelError(f"unknown constraint sense {senses!r}")
+            codes = np.full(count, SENSE_CODES[senses], dtype=np.int8)
+        else:
+            sense_list = list(senses)
+            if len(sense_list) != count:
+                raise ModelError(f"got {len(sense_list)} senses for "
+                                 f"{count} rows")
+            unknown = set(sense_list) - set(SENSE_CODES)
+            if unknown:
+                raise ModelError(f"unknown constraint sense {unknown.pop()!r}")
+            codes = np.array([SENSE_CODES[s] for s in sense_list],
+                             dtype=np.int8)
+        block = ConstraintBlock(self._num_cons, count, name, rows_arr,
+                                cols_arr, vals_arr, codes, rhs_arr)
+        self._records.append(block)
+        self._num_cons += count
+        return block
 
     def set_objective(self, expr) -> None:
         """Set the objective expression (orientation from the model sense)."""
@@ -320,6 +544,20 @@ class Model:
         if expr._model_id is not None and expr._model_id != self._model_id:
             raise ModelError("objective uses variables from another model")
         self.objective = expr
+        self._objective_coo = None
+
+    def set_objective_coo(self, cols, vals, constant: float = 0.0) -> None:
+        """Set the objective from parallel (variable index, coefficient)
+        arrays; duplicate indices are summed."""
+        cols_arr = np.asarray(cols, dtype=np.int64)
+        vals_arr = np.asarray(vals, dtype=np.float64)
+        if cols_arr.shape != vals_arr.shape:
+            raise ModelError("cols and vals must have matching shapes")
+        if cols_arr.size and (cols_arr.min() < 0
+                              or cols_arr.max() >= self._num_vars):
+            raise ModelError("objective references an unknown variable")
+        self._objective_coo = (cols_arr, vals_arr, float(constant))
+        self.objective = None
 
     # -- solving -------------------------------------------------------
     def solve(self):
@@ -329,4 +567,4 @@ class Model:
 
     def __repr__(self) -> str:
         return (f"Model({self.name!r}, sense={self.sense}, "
-                f"{len(self.variables)} vars, {len(self.constraints)} cons)")
+                f"{self._num_vars} vars, {self._num_cons} cons)")

@@ -4,6 +4,13 @@ The assembly produces sparse ``A_ub``/``A_eq`` matrices and calls
 :func:`scipy.optimize.linprog` with ``method="highs"``.  Dual values are
 re-oriented so that callers always see them in the model's own sense (see
 :class:`Solution.dual`).
+
+Assembly is fully vectorised: expression constraints are flattened into
+COO triplets once, batched :class:`~repro.lp.model.ConstraintBlock`
+triplets are concatenated as-is, and the GE-row flip, the eq/ub row split
+and the dual re-orientation are all numpy operations.  The two paths feed
+the same arrays, so a model built through either API assembles to the
+identical matrix.
 """
 
 from __future__ import annotations
@@ -14,13 +21,17 @@ from scipy.optimize import linprog
 
 from ..telemetry import get_tracer
 from .errors import InfeasibleError, ModelError, SolverError, UnboundedError
-from .model import EQ, GE, LE, Constraint, Model, Variable
+from .model import SENSE_CODES, ConstraintBlock, EQ, GE, Model, Variable, \
+    VariableBlock
 
 #: linprog status codes (scipy docs): 0 ok, 1 iteration limit, 2 infeasible,
 #: 3 unbounded, 4 numerical trouble.
 _STATUS_OK = 0
 _STATUS_INFEASIBLE = 2
 _STATUS_UNBOUNDED = 3
+
+_CODE_GE = SENSE_CODES[GE]
+_CODE_EQ = SENSE_CODES[EQ]
 
 
 class Solution:
@@ -52,6 +63,10 @@ class Solution:
         """Primal values for an iterable of variables (in order)."""
         return [float(self._x[v.index]) for v in variables]
 
+    def value_array(self, block: VariableBlock) -> np.ndarray:
+        """Primal values of a variable block as one array slice."""
+        return self._x[block.start:block.stop]
+
     def value_of(self, expr) -> float:
         """Evaluate a variable or linear expression at the optimum."""
         if isinstance(expr, Variable):
@@ -61,11 +76,21 @@ class Solution:
             total += coeff * self._x[idx]
         return float(total)
 
-    def dual(self, constraint: Constraint) -> float:
-        """Shadow price of ``constraint`` in the model's orientation."""
+    def dual(self, constraint) -> float:
+        """Shadow price of a constraint in the model's orientation.
+
+        Accepts an expression :class:`Constraint` or a raw global
+        constraint index (how COO-block rows are addressed).
+        """
+        if isinstance(constraint, (int, np.integer)):
+            return float(self._duals[int(constraint)])
         if constraint.index is None:
             raise ModelError("constraint was never added to the model")
         return float(self._duals[constraint.index])
+
+    def dual_array(self, block: ConstraintBlock) -> np.ndarray:
+        """Duals of a constraint block as one array slice (row order)."""
+        return self._duals[block.start:block.stop]
 
     @property
     def x(self) -> np.ndarray:
@@ -73,53 +98,104 @@ class Solution:
         return self._x
 
 
-def _assemble(model: Model):
-    """Build (c, A_ub, b_ub, A_eq, b_eq, bounds, row maps) from a model."""
-    n = len(model.variables)
-    if model.objective is None:
-        raise ModelError(f"model {model.name!r} has no objective")
+def _objective_vector(model: Model, n: int) -> tuple[np.ndarray, float]:
+    """Dense objective coefficients and the constant term."""
+    if model.objective is not None:
+        c = np.zeros(n)
+        coeffs = model.objective.coeffs
+        if coeffs:
+            idx = np.fromiter(coeffs.keys(), dtype=np.int64, count=len(coeffs))
+            val = np.fromiter(coeffs.values(), dtype=np.float64,
+                              count=len(coeffs))
+            c[idx] = val
+        return c, model.objective.constant
+    if model._objective_coo is not None:
+        cols, vals, constant = model._objective_coo
+        c = np.bincount(cols, weights=vals, minlength=n)[:n] if cols.size \
+            else np.zeros(n)
+        return c, constant
+    raise ModelError(f"model {model.name!r} has no objective")
 
-    c = np.zeros(n)
-    for idx, coeff in model.objective.coeffs.items():
-        c[idx] = coeff
-    obj_constant = model.objective.constant
+
+def _assemble(model: Model):
+    """Build (c, A_ub, b_ub, A_eq, b_eq, bounds, row maps) from a model.
+
+    Expression constraints are flattened term-by-term (the compatibility
+    path); COO blocks contribute their prebuilt triplet arrays directly.
+    Returns, besides the linprog inputs, the per-constraint arrays
+    (``eq_mask``, ``eq_row``, ``ub_row``, ``flip``) needed to re-orient
+    duals.
+    """
+    n = model.num_variables
+    m = model.num_constraints
+
+    c, obj_constant = _objective_vector(model, n)
     if model.sense == "max":
         c = -c
 
-    ub_rows, ub_cols, ub_vals, b_ub = [], [], [], []
-    eq_rows, eq_cols, eq_vals, b_eq = [], [], [], []
-    # For each constraint: (kind, row, sign) where `sign` converts the scipy
-    # marginal into the user's dual orientation.
-    row_info: list[tuple[str, int, float]] = []
-
-    for con in model.constraints:
-        rhs = con.rhs
-        if con.sense == EQ:
-            row = len(b_eq)
-            for idx, coeff in con.expr.coeffs.items():
-                eq_rows.append(row)
-                eq_cols.append(idx)
-                eq_vals.append(coeff)
-            b_eq.append(rhs)
-            row_info.append(("eq", row, 1.0))
+    codes = np.empty(m, dtype=np.int8)
+    rhs = np.empty(m, dtype=np.float64)
+    chunks_con, chunks_col, chunks_val = [], [], []
+    expr_con, expr_col, expr_val = [], [], []
+    for record in model._records:
+        if isinstance(record, ConstraintBlock):
+            sl = slice(record.start, record.stop)
+            codes[sl] = record.codes
+            rhs[sl] = record.rhs
+            chunks_con.append(record.rows + record.start)
+            chunks_col.append(record.cols)
+            chunks_val.append(record.vals)
         else:
-            # Normalise to <=: flip a >= constraint.
-            flip = -1.0 if con.sense == GE else 1.0
-            row = len(b_ub)
-            for idx, coeff in con.expr.coeffs.items():
-                ub_rows.append(row)
-                ub_cols.append(idx)
-                ub_vals.append(coeff * flip)
-            b_ub.append(rhs * flip)
-            row_info.append(("ub", row, flip))
+            i = record.index
+            codes[i] = SENSE_CODES[record.sense]
+            rhs[i] = record.rhs
+            for idx, coeff in record.expr.coeffs.items():
+                expr_con.append(i)
+                expr_col.append(idx)
+                expr_val.append(coeff)
+    if expr_con:
+        chunks_con.append(np.asarray(expr_con, dtype=np.int64))
+        chunks_col.append(np.asarray(expr_col, dtype=np.int64))
+        chunks_val.append(np.asarray(expr_val, dtype=np.float64))
 
-    A_ub = (sparse.csr_matrix((ub_vals, (ub_rows, ub_cols)), shape=(len(b_ub), n))
-            if b_ub else None)
-    A_eq = (sparse.csr_matrix((eq_vals, (eq_rows, eq_cols)), shape=(len(b_eq), n))
-            if b_eq else None)
-    bounds = [(v.lb, v.ub) for v in model.variables]
-    return c, obj_constant, A_ub, np.asarray(b_ub), A_eq, np.asarray(b_eq), \
-        bounds, row_info
+    if chunks_con:
+        entry_con = np.concatenate(chunks_con)
+        entry_col = np.concatenate(chunks_col)
+        entry_val = np.concatenate(chunks_val)
+    else:
+        entry_con = np.zeros(0, dtype=np.int64)
+        entry_col = np.zeros(0, dtype=np.int64)
+        entry_val = np.zeros(0, dtype=np.float64)
+
+    eq_mask = codes == _CODE_EQ
+    flip = np.where(codes == _CODE_GE, -1.0, 1.0)
+    # Row number of each constraint within its (eq | ub) matrix, assigned
+    # in creation order — exactly the numbering the per-constraint loop
+    # used to produce.
+    eq_row = np.cumsum(eq_mask) - 1
+    ub_row = np.cumsum(~eq_mask) - 1
+    n_eq = int(eq_mask.sum())
+    n_ub = m - n_eq
+
+    entry_eq = eq_mask[entry_con]
+    A_eq = None
+    if n_eq:
+        sel = entry_eq
+        A_eq = sparse.csr_matrix(
+            (entry_val[sel], (eq_row[entry_con[sel]], entry_col[sel])),
+            shape=(n_eq, n))
+    A_ub = None
+    if n_ub:
+        sel = ~entry_eq
+        con = entry_con[sel]
+        A_ub = sparse.csr_matrix(
+            (entry_val[sel] * flip[con], (ub_row[con], entry_col[sel])),
+            shape=(n_ub, n))
+    b_eq = rhs[eq_mask]
+    b_ub = rhs[~eq_mask] * flip[~eq_mask]
+    bounds = model.bounds()
+    return c, obj_constant, A_ub, b_ub, A_eq, b_eq, bounds, \
+        (eq_mask, eq_row, ub_row, flip)
 
 
 def solve_model(model: Model) -> Solution:
@@ -132,10 +208,11 @@ def solve_model(model: Model) -> Solution:
     """
     with get_tracer().span("lp.solve", model=model.name,
                            sense=model.sense) as span:
-        c, obj_constant, A_ub, b_ub, A_eq, b_eq, bounds, row_info = \
-            _assemble(model)
-        span.set(n_vars=len(model.variables),
-                 n_constraints=len(model.constraints))
+        with get_tracer().span("lp.assemble", model=model.name):
+            c, obj_constant, A_ub, b_ub, A_eq, b_eq, bounds, row_maps = \
+                _assemble(model)
+        span.set(n_vars=model.num_variables,
+                 n_constraints=model.num_constraints)
 
         result = linprog(c, A_ub=A_ub,
                          b_ub=b_ub if A_ub is not None else None,
@@ -153,19 +230,21 @@ def solve_model(model: Model) -> Solution:
                               f"(status {result.status}: {result.message})")
 
     # linprog minimises; flip back for a max model.
-    objective = float(result.fun) + (obj_constant if model.sense == "min" else 0.0)
-    if model.sense == "max":
-        objective = -float(result.fun) + obj_constant
+    sign = -1.0 if model.sense == "max" else 1.0
+    objective = sign * float(result.fun) + obj_constant
 
     # scipy marginals are d(min objective)/d(rhs).  Convert to the user's
     # orientation: for max models d(max objective)/d(rhs) = -marginal; a
     # flipped (>=) row additionally changes the rhs sign.
-    duals = np.zeros(len(model.constraints))
-    ub_marginals = result.ineqlin.marginals if A_ub is not None else None
-    eq_marginals = result.eqlin.marginals if A_eq is not None else None
+    eq_mask, eq_row, ub_row, flip = row_maps
+    duals = np.zeros(model.num_constraints)
     sense_sign = -1.0 if model.sense == "max" else 1.0
-    for con_index, (kind, row, flip) in enumerate(row_info):
-        marginal = (ub_marginals[row] if kind == "ub" else eq_marginals[row])
-        duals[con_index] = sense_sign * flip * marginal
+    if A_ub is not None:
+        ub_marginals = np.asarray(result.ineqlin.marginals)
+        sel = ~eq_mask
+        duals[sel] = sense_sign * flip[sel] * ub_marginals[ub_row[sel]]
+    if A_eq is not None:
+        eq_marginals = np.asarray(result.eqlin.marginals)
+        duals[eq_mask] = sense_sign * eq_marginals[eq_row[eq_mask]]
 
     return Solution(model, np.asarray(result.x), objective, duals)

@@ -31,10 +31,23 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from .model import LinExpr, Model, Variable, quicksum
+from .errors import ModelError
+from .model import EQ, GE, LE, Model, Variable, quicksum
 
 #: Selectable encodings, used by PretiumConfig.topk_encoding.
 TOPK_ENCODINGS = ("cvar", "sorting")
+
+
+def _check_distinct(variables: Sequence[Variable]) -> None:
+    """Reject duplicate inputs, comparing by *index*, never by ``==``.
+
+    ``Variable.__eq__`` builds a (truthy) :class:`Constraint`, so naive
+    membership tests (``var in variables``) match any variable; the top-k
+    encodings therefore validate through index sets.  Duplicates would
+    silently double-count a sample in the percentile proxy.
+    """
+    if len({v.index for v in variables}) != len(variables):
+        raise ModelError("top-k inputs must be distinct variables")
 
 
 def sum_topk_exact(values: Sequence[float], k: int) -> float:
@@ -73,6 +86,7 @@ def add_sum_topk_cvar(model: Model, variables: Sequence[Variable], k: int,
     T = len(variables)
     if not 0 < k <= T:
         raise ValueError(f"k must be in 1..{T}, got {k}")
+    _check_distinct(variables)
     # Utilisations are nonnegative, so eta's optimum (the k-th largest value)
     # is nonnegative and lb=0 is harmless.
     eta = model.add_variable(f"{name}.eta", lb=0.0)
@@ -104,6 +118,7 @@ def add_sum_topk_sorting(model: Model, variables: Sequence[Variable], k: int,
     T = len(variables)
     if not 0 < k <= T:
         raise ValueError(f"k must be in 1..{T}, got {k}")
+    _check_distinct(variables)
     if k == T:
         total = model.add_variable(f"{name}.S", lb=0.0)
         model.add_constraint(total >= quicksum(variables), name=f"{name}.bound")
@@ -128,6 +143,110 @@ def add_sum_topk_sorting(model: Model, variables: Sequence[Variable], k: int,
         current = next_values
     total = model.add_variable(f"{name}.S", lb=0.0)
     model.add_constraint(total >= quicksum(pass_maxima), name=f"{name}.bound")
+    return total
+
+
+def add_sum_topk_coo(model: Model, var_indices, k: int, name: str = "topk",
+                     encoding: str = "cvar") -> int:
+    """Array-native :func:`add_sum_topk`: indices in, bound index out.
+
+    Takes the variable *indices* of the samples (e.g. a
+    :class:`~repro.lp.model.VariableBlock`'s ``indices``) and emits the
+    encoding through :meth:`Model.add_constraints_coo`.  Variables and
+    constraints are created in exactly the order of the expression
+    encodings, so a model built either way assembles to the same matrix.
+    Returns the index of the bound variable ``S``.
+    """
+    if encoding == "cvar":
+        return add_sum_topk_cvar_coo(model, var_indices, k, name)
+    if encoding == "sorting":
+        return add_sum_topk_sorting_coo(model, var_indices, k, name)
+    raise ValueError(f"unknown top-k encoding {encoding!r}; "
+                     f"expected one of {TOPK_ENCODINGS}")
+
+
+def add_sum_topk_cvar_coo(model: Model, var_indices, k: int,
+                          name: str = "topk") -> int:
+    """COO twin of :func:`add_sum_topk_cvar` (vectorised, no loops)."""
+    x = np.asarray(var_indices, dtype=np.int64)
+    T = x.size
+    if not 0 < k <= T:
+        raise ValueError(f"k must be in 1..{T}, got {k}")
+    if np.unique(x).size != T:
+        raise ModelError("top-k inputs must be distinct variables")
+    eta = model.add_variables_array(1, f"{name}.eta", lb=0.0).start
+    u = model.add_variables_array(T, f"{name}.u", lb=0.0)
+    # u_t - x_t + eta >= 0 for every sample t (three entries per row).
+    t = np.arange(T)
+    model.add_constraints_coo(
+        rows=np.concatenate([t, t, t]),
+        cols=np.concatenate([u.indices, x, np.full(T, eta)]),
+        vals=np.concatenate([np.ones(T), -np.ones(T), np.ones(T)]),
+        senses=GE, rhs=np.zeros(T), name=f"{name}.exc")
+    total = model.add_variables_array(1, f"{name}.S", lb=0.0).start
+    # S - k*eta - sum(u) >= 0.
+    model.add_constraints_coo(
+        rows=np.zeros(T + 2, dtype=np.int64),
+        cols=np.concatenate([[total, eta], u.indices]),
+        vals=np.concatenate([[1.0, -float(k)], -np.ones(T)]),
+        senses=GE, rhs=0.0, name=f"{name}.bound")
+    return total
+
+
+def add_sum_topk_sorting_coo(model: Model, var_indices, k: int,
+                             name: str = "topk") -> int:
+    """COO twin of :func:`add_sum_topk_sorting` (Theorem 4.2 network)."""
+    x = np.asarray(var_indices, dtype=np.int64)
+    T = x.size
+    if not 0 < k <= T:
+        raise ValueError(f"k must be in 1..{T}, got {k}")
+    if np.unique(x).size != T:
+        raise ModelError("top-k inputs must be distinct variables")
+    if k == T:
+        total = model.add_variables_array(1, f"{name}.S", lb=0.0).start
+        model.add_constraints_coo(
+            rows=np.zeros(T + 1, dtype=np.int64),
+            cols=np.concatenate([[total], x]),
+            vals=np.concatenate([[1.0], -np.ones(T)]),
+            senses=GE, rhs=0.0, name=f"{name}.bound")
+        return total
+
+    current = x.tolist()
+    pass_maxima = []
+    for i in range(k):
+        nc = len(current) - 1
+        pairs = model.add_variables_array(2 * nc, f"{name}.mM[{i}]", lb=0.0)
+        rows, cols, vals, senses = [], [], [], []
+        running_max = current[0]
+        next_values = []
+        row = 0
+        for j in range(nc):
+            incoming = current[j + 1]
+            low = pairs.start + 2 * j
+            high = pairs.start + 2 * j + 1
+            # running + incoming - low - high == 0
+            rows += [row] * 4
+            cols += [running_max, incoming, low, high]
+            vals += [1.0, 1.0, -1.0, -1.0]
+            senses.append(EQ)
+            # low - running <= 0 ; low - incoming <= 0
+            rows += [row + 1, row + 1, row + 2, row + 2]
+            cols += [low, running_max, low, incoming]
+            vals += [1.0, -1.0, 1.0, -1.0]
+            senses += [LE, LE]
+            row += 3
+            next_values.append(low)
+            running_max = high
+        model.add_constraints_coo(rows, cols, vals, senses,
+                                  np.zeros(3 * nc), name=f"{name}.pass[{i}]")
+        pass_maxima.append(running_max)
+        current = next_values
+    total = model.add_variables_array(1, f"{name}.S", lb=0.0).start
+    model.add_constraints_coo(
+        rows=np.zeros(1 + len(pass_maxima), dtype=np.int64),
+        cols=np.concatenate([[total], pass_maxima]),
+        vals=np.concatenate([[1.0], -np.ones(len(pass_maxima))]),
+        senses=GE, rhs=0.0, name=f"{name}.bound")
     return total
 
 

@@ -1,0 +1,210 @@
+"""Tests for the batched (COO) model-construction path.
+
+The COO API must be an exact twin of the expression API: same index
+space, same assembled matrix, same solutions and duals.  These tests pin
+the block bookkeeping, the validation errors, and the differential
+equivalence on small LPs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lp import (EQ, GE, LE, Model, add_sum_topk, add_sum_topk_coo)
+from repro.lp.errors import ModelError
+
+
+# -- variable blocks -----------------------------------------------------
+
+def test_variable_block_indices_and_interleaving():
+    m = Model()
+    a = m.add_variable("a")
+    block = m.add_variables_array(3, "b", lb=1.0, ub=5.0)
+    c = m.add_variable("c")
+    assert a.index == 0
+    assert list(block.indices) == [1, 2, 3]
+    assert block.start == 1 and block.stop == 4 and len(block) == 3
+    assert c.index == 4
+    assert m.num_variables == 5
+
+
+def test_variable_block_materialises_variables():
+    m = Model()
+    block = m.add_variables_array(2, "x", lb=np.array([0.0, 1.0]),
+                                  ub=np.array([2.0, np.inf]))
+    first, second = block[0], block[1]
+    assert (first.lb, first.ub) == (0.0, 2.0)
+    assert (second.lb, second.ub) == (1.0, None)  # inf means unbounded
+    assert [v.index for v in block] == [0, 1]
+    with pytest.raises(IndexError):
+        block[2]
+
+
+def test_variable_block_bound_validation():
+    m = Model()
+    with pytest.raises(ModelError):
+        m.add_variables_array(2, "x", lb=3.0, ub=1.0)
+    with pytest.raises(ModelError):
+        m.add_variables_array(2, "x", lb=np.zeros(3))
+    with pytest.raises(ModelError):
+        m.add_variables_array(-1, "x")
+
+
+def test_block_variables_work_with_expression_api():
+    m = Model(sense="max")
+    block = m.add_variables_array(2, "x", lb=0.0, ub=4.0)
+    m.add_constraint(block[0] + block[1] <= 6.0)
+    m.set_objective(block[0] + 2.0 * block[1])
+    sol = m.solve()
+    assert sol.objective == pytest.approx(10.0)
+    assert sol.value_array(block) == pytest.approx([2.0, 4.0])
+
+
+# -- COO constraints -----------------------------------------------------
+
+def test_constraint_block_indices_interleave_with_expression_rows():
+    m = Model()
+    x = m.add_variables_array(3, "x")
+    m.add_constraint(x[0] + x[1] <= 1.0)
+    block = m.add_constraints_coo([0, 0, 1], [0, 1, 2], [1.0, 1.0, 1.0],
+                                  LE, [1.0, 2.0])
+    after = m.add_constraint(x[2] >= 0.5)
+    assert block.start == 1 and block.count == 2
+    assert list(block.indices) == [1, 2]
+    assert block.index_of(1) == 2
+    assert after.index == 3
+    assert m.num_constraints == 4
+    with pytest.raises(IndexError):
+        block.index_of(2)
+
+
+def test_constraints_coo_validation():
+    m = Model()
+    m.add_variables_array(2, "x")
+    with pytest.raises(ModelError):  # shape mismatch
+        m.add_constraints_coo([0], [0, 1], [1.0], LE, [1.0])
+    with pytest.raises(ModelError):  # row out of range
+        m.add_constraints_coo([1], [0], [1.0], LE, [1.0])
+    with pytest.raises(ModelError):  # unknown variable
+        m.add_constraints_coo([0], [5], [1.0], LE, [1.0])
+    with pytest.raises(ModelError):  # unknown sense (shared)
+        m.add_constraints_coo([0], [0], [1.0], "<", [1.0])
+    with pytest.raises(ModelError):  # unknown sense (per-row)
+        m.add_constraints_coo([0], [0], [1.0], ["<"], [1.0])
+    with pytest.raises(ModelError):  # sense count mismatch
+        m.add_constraints_coo([0], [0], [1.0], [LE, GE], [1.0])
+
+
+def test_duplicate_coo_entries_are_summed():
+    m = Model(sense="max")
+    x = m.add_variables_array(1, "x", ub=10.0)
+    # 0.5*x + 0.5*x <= 4  ==  x <= 4
+    m.add_constraints_coo([0, 0], [0, 0], [0.5, 0.5], LE, [4.0])
+    m.set_objective_coo([0, 0], [1.0, 1.0])  # 2*x
+    sol = m.solve()
+    assert sol.x[0] == pytest.approx(4.0)
+    assert sol.objective == pytest.approx(8.0)
+
+
+def test_objective_coo_validation_and_reset():
+    m = Model()
+    x = m.add_variable("x", ub=1.0)
+    with pytest.raises(ModelError):
+        m.set_objective_coo([3], [1.0])
+    m.set_objective(2.0 * x)
+    m.set_objective_coo([0], [1.0])
+    assert m.objective is None  # COO replaces the expression objective
+    m.set_objective(2.0 * x)
+    assert m._objective_coo is None  # and vice versa
+
+
+# -- differential equivalence -------------------------------------------
+
+def build_expr(sense):
+    m = Model(sense=sense)
+    x = [m.add_variable(f"x{i}", lb=0.0, ub=4.0) for i in range(3)]
+    m.add_constraint(x[0] + x[1] + x[2] <= 6.0, name="cap")
+    m.add_constraint(x[0] + x[1] >= 1.0, name="floor")
+    m.add_constraint(x[1] - x[2] == 0.0, name="tie")
+    m.set_objective(3.0 * x[0] + 2.0 * x[1] + 1.0 * x[2])
+    return m
+
+
+def build_coo(sense):
+    m = Model(sense=sense)
+    block = m.add_variables_array(3, "x", lb=0.0, ub=4.0)
+    m.add_constraints_coo(
+        [0, 0, 0, 1, 1, 2, 2], [0, 1, 2, 0, 1, 1, 2],
+        [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0],
+        [LE, GE, EQ], [6.0, 1.0, 0.0], name="rows")
+    m.set_objective_coo(block.indices, [3.0, 2.0, 1.0])
+    return m
+
+
+@pytest.mark.parametrize("sense", ["max", "min"])
+def test_coo_model_matches_expression_model(sense):
+    se = build_expr(sense).solve()
+    sc = build_coo(sense).solve()
+    assert sc.objective == pytest.approx(se.objective)
+    assert sc.x == pytest.approx(se.x)
+    for row in range(3):
+        assert sc.dual(row) == pytest.approx(se.dual(row), abs=1e-9)
+
+
+def test_dual_array_matches_scalar_duals():
+    m = Model(sense="max")
+    block_vars = m.add_variables_array(2, "x", ub=3.0)
+    rows = m.add_constraints_coo([0, 1], [0, 1], [1.0, 1.0],
+                                 LE, [2.0, 1.0])
+    m.set_objective_coo(block_vars.indices, [1.0, 5.0])
+    sol = m.solve()
+    duals = sol.dual_array(rows)
+    assert duals == pytest.approx([sol.dual(rows.index_of(0)),
+                                   sol.dual(rows.index_of(1))])
+    assert duals == pytest.approx([1.0, 5.0])
+
+
+# -- objective constants (solver dedup regression) ----------------------
+
+@pytest.mark.parametrize("sense,expected", [("max", 9.0), ("min", 6.0)])
+def test_objective_constant_both_senses_expression(sense, expected):
+    m = Model(sense=sense)
+    x = m.add_variable("x", lb=1.0, ub=2.0)
+    m.set_objective(3.0 * x + 3.0)
+    assert m.solve().objective == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("sense,expected", [("max", 9.0), ("min", 6.0)])
+def test_objective_constant_both_senses_coo(sense, expected):
+    m = Model(sense=sense)
+    m.add_variables_array(1, "x", lb=1.0, ub=2.0)
+    m.set_objective_coo([0], [3.0], constant=3.0)
+    assert m.solve().objective == pytest.approx(expected)
+
+
+# -- top-k twins ---------------------------------------------------------
+
+@pytest.mark.parametrize("encoding", ["cvar", "sorting"])
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_topk_coo_matches_expression_encoding(encoding, k):
+    rng = np.random.default_rng(42)
+    values = rng.uniform(0.0, 10.0, size=4)
+
+    me = Model(sense="min")
+    fixed = [me.add_variable(f"v{i}", lb=v, ub=v)
+             for i, v in enumerate(values)]
+    se = add_sum_topk(me, fixed, k, name="z", encoding=encoding)
+    me.set_objective(1.0 * se)
+    ref = me.solve()
+
+    mc = Model(sense="min")
+    block = mc.add_variables_array(4, "v", lb=values, ub=values)
+    s_index = add_sum_topk_coo(mc, block.indices, k, name="z",
+                               encoding=encoding)
+    mc.set_objective_coo([s_index], [1.0])
+    fast = mc.solve()
+
+    expected = np.sort(values)[::-1][:k].sum()
+    assert ref.objective == pytest.approx(expected)
+    assert fast.objective == pytest.approx(ref.objective)
+    assert mc.num_variables == me.num_variables
+    assert mc.num_constraints == me.num_constraints
