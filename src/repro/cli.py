@@ -25,15 +25,18 @@ import argparse
 import json
 import sys
 
+from contextlib import ExitStack
+
 from .costs import LinkCostModel
 from .experiments import (SCHEME_FACTORIES, format_series, format_table,
                           run_scheme, standard_scenario)
 from .experiments import figures as figures_module
 from .experiments.scenarios import Scenario
+from .faults import FaultInjector, FaultSpecError, use_injector
 from .network import wan_topology
 from .sim import save_summary, summarize
 from .telemetry import (MetricsRegistry, TraceWriter, Tracer, report_trace,
-                        use_tracer)
+                        use_registry, use_tracer)
 from .traffic import NormalValues, build_workload, load_workload, \
     save_workload
 
@@ -85,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--telemetry", metavar="PATH",
                      help="write a JSONL trace of the run (spans for "
                           "lp.solve, ra, sam, pc, ...) to PATH")
+    run.add_argument("--faults", metavar="SPEC",
+                     help="inject solver faults; SPEC is comma-separated "
+                          "MODULE:KIND[@WHEN][xCOUNT] clauses, e.g. "
+                          "'sam:solver@5x1,pc:timeout@24' (module ra|sam|"
+                          "pc|*, kind solver|infeasible|timeout, when a "
+                          "step, STEP-STEP range, * or pPROB)")
+    run.add_argument("--fault-seed", type=int, default=0,
+                     help="seed for probabilistic fault rules")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig.add_argument("id", choices=sorted(FIGURES),
@@ -123,18 +134,36 @@ def _cmd_run(args) -> int:
         scenario = Scenario(workload.topology, workload, cost_model)
     else:
         scenario = standard_scenario(load_factor=args.load, seed=args.seed)
-    if args.telemetry:
-        tracer = Tracer(sinks=[TraceWriter(args.telemetry)],
-                        registry=MetricsRegistry())
+    injector = None
+    if args.faults:
         try:
-            with use_tracer(tracer):
-                result = run_scheme(args.scheme, scenario)
-            tracer.emit_metrics()
-        finally:
-            tracer.close()
-        print(f"telemetry trace written to {args.telemetry}")
-    else:
-        result = run_scheme(args.scheme, scenario)
+            injector = FaultInjector.from_spec(args.faults,
+                                               seed=args.fault_seed)
+        except FaultSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    with ExitStack() as stack:
+        if injector is not None:
+            stack.enter_context(use_injector(injector))
+        if args.telemetry:
+            # One registry serves both the tracer's span histograms and
+            # (installed process-wide) the modules' fault/resilience
+            # counters, so the final metrics event carries everything.
+            registry = stack.enter_context(use_registry())
+            tracer = Tracer(sinks=[TraceWriter(args.telemetry)],
+                            registry=registry)
+            try:
+                with use_tracer(tracer):
+                    result = run_scheme(args.scheme, scenario)
+                tracer.emit_metrics()
+            finally:
+                tracer.close()
+            print(f"telemetry trace written to {args.telemetry}")
+        else:
+            result = run_scheme(args.scheme, scenario)
+    if injector is not None:
+        print(f"faults injected: {len(injector.injections)} "
+              f"({args.faults})")
     record = summarize(result, scenario.cost_model)
     rows = [[key, value] for key, value in record.items()
             if isinstance(value, (int, float, str))]

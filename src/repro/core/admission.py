@@ -169,6 +169,52 @@ class RequestAdmission:
                 scratch[(index, t)] += take
         return PriceMenu(segments, best_effort=config.allow_best_effort)
 
+    def quote_degraded(self, request: ByteRequest, now: int) -> PriceMenu:
+        """Conservative fallback menu straight off current prices.
+
+        Used when the primary greedy quote is unavailable (an injected or
+        genuine fault in the quoting machinery): pick the single route
+        whose cheapest in-window timestep is lowest at the *current base
+        prices*, then offer one segment per timestep — volume capped at
+        the route's residual bottleneck, priced at the base path price
+        for that step — sorted by price so the menu stays convex.
+
+        Deliberately simpler than :meth:`quote`: no congested-segment
+        split and no intra-quote scratch reservations, so each quoted
+        unit may be *underpriced* relative to the primary path but never
+        negative, never over-promises capacity (each segment sits at a
+        distinct timestep and is bounded by that step's residual), and
+        costs one array pass per timestep.
+        """
+        config = self.state.config
+        routes = self.state.paths.routes(request.src, request.dst)
+        first = max(request.start, now)
+        steps = [t for t in range(first, request.deadline + 1)
+                 if t < self.state.n_steps]
+        if not routes or not steps:
+            return PriceMenu([], best_effort=config.allow_best_effort)
+
+        def path_price(path: Path, t: int) -> float:
+            indices = list(path.link_indices())
+            return float(self.state.prices[t, indices].sum())
+
+        route = min(routes,
+                    key=lambda p: min(path_price(p, t) for t in steps))
+        priced = sorted(
+            (path_price(route, t), t) for t in steps)
+        segments: list[MenuSegment] = []
+        covered = 0.0
+        for price, t in priced:
+            if covered >= request.demand - EPS:
+                break
+            available = self.state.residual_on_path(route, t)
+            if available <= EPS:
+                continue
+            take = min(available, request.demand - covered)
+            segments.append(MenuSegment(take, price, route, t))
+            covered += take
+        return PriceMenu(segments, best_effort=config.allow_best_effort)
+
     def _path_head(self, path: Path, t: int,
                    scratch: dict[tuple[int, int], float]
                    ) -> tuple[float, float]:

@@ -75,6 +75,24 @@ class PretiumConfig:
         batched numpy triplets through ``Model.add_constraints_coo``) or
         ``"expr"`` (the reference term-by-term expression builder).  Both
         assemble the identical matrix.
+    solver_retries:
+        Additional solve attempts after a transient backend failure
+        (``SolverError``/``SolverTimeout``) before the module-level
+        degradation fallback takes over (see :mod:`repro.faults`).
+    solver_backoff:
+        Base backoff in seconds between retries, doubling per attempt
+        (0 disables sleeping; simulated time gains nothing from waiting).
+    solver_time_limit:
+        Wall-clock budget per LP solve in seconds; exceeding it raises
+        ``SolverTimeout`` (``None`` = unbounded).
+    solver_maxiter:
+        Simplex/IPM iteration budget per LP solve (``None`` = unbounded).
+    faults:
+        Fault-injection spec string (see
+        :func:`repro.faults.parse_fault_spec`), e.g.
+        ``"sam:solver@5x1,pc:timeout@24"``; ``None`` disables injection.
+    fault_seed:
+        Seed for probabilistic fault rules (deterministic schedules).
     """
 
     route_count: int = 3
@@ -95,6 +113,12 @@ class PretiumConfig:
     initial_leveling_steps: int | None = None
     quote_path: str = "heap"
     lp_builder: str = "coo"
+    solver_retries: int = 2
+    solver_backoff: float = 0.0
+    solver_time_limit: float | None = None
+    solver_maxiter: int | None = None
+    faults: str | None = None
+    fault_seed: int = 0
 
     @property
     def initial_metered_leveling(self) -> int:
@@ -137,3 +161,16 @@ class PretiumConfig:
             raise ValueError(f"unknown quote_path {self.quote_path!r}")
         if self.lp_builder not in ("coo", "expr"):
             raise ValueError(f"unknown lp_builder {self.lp_builder!r}")
+        if self.solver_retries < 0:
+            raise ValueError("solver_retries must be >= 0")
+        if self.solver_backoff < 0:
+            raise ValueError("solver_backoff must be >= 0")
+        if self.solver_time_limit is not None and self.solver_time_limit <= 0:
+            raise ValueError("solver_time_limit must be positive")
+        if self.solver_maxiter is not None and self.solver_maxiter <= 0:
+            raise ValueError("solver_maxiter must be positive")
+        if self.faults is not None:
+            # Validate eagerly: a typo'd spec should fail at configuration
+            # time, not silently never inject mid-run.
+            from ..faults.injector import parse_fault_spec
+            parse_fault_spec(self.faults)

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..faults.injector import FaultInjector, get_injector
+from ..lp import LPError
 from ..telemetry import get_registry, get_tracer
 from .admission import EPS, Contract, RequestAdmission
 from .config import PretiumConfig
@@ -55,6 +57,8 @@ class PretiumController:
         self.contracts: list[Contract] = []
         self.menus: dict[int, object] = {}
         self.price_updates: int = 0
+        #: Structured degradation events, in order (see _record_degradation).
+        self.failure_events: list[dict] = []
 
     # -- protocol ----------------------------------------------------------
     def begin(self, workload) -> None:
@@ -68,22 +72,70 @@ class PretiumController:
         self.user = self._user_model or (
             BestResponseUser() if config.menu_enabled else AllOrNothingUser())
         self.state = NetworkState(workload.topology, workload.n_steps, config)
+        if config.faults is not None:
+            self.injector = FaultInjector.from_spec(config.faults,
+                                                    seed=config.fault_seed)
+        else:
+            # None here means "resolve the process-wide injector at call
+            # time", so `run --faults` reaches config-less controllers too.
+            self.injector = None
         self.admission = RequestAdmission(self.state)
-        self.sam = ScheduleAdjuster(self.state, workload.steps_per_day)
-        self.pricer = PriceComputer(self.state, workload.steps_per_day)
+        self.sam = ScheduleAdjuster(self.state, workload.steps_per_day,
+                                    injector=self.injector)
+        self.pricer = PriceComputer(self.state, workload.steps_per_day,
+                                    injector=self.injector)
         self.contracts = []
         self.menus = {}
         self.price_updates = 0
+        self.failure_events = []
+        self._stale_windows = 0
+
+    def _current_injector(self) -> FaultInjector:
+        return self.injector if self.injector is not None else get_injector()
+
+    def _record_degradation(self, module: str, step: int,
+                            error: BaseException, action: str,
+                            rid: int | None = None) -> None:
+        """Log one degradation event (structured) and bump its counters."""
+        event = {"module": module, "step": step, "action": action,
+                 "error": type(error).__name__, "detail": str(error)}
+        if rid is not None:
+            event["rid"] = rid
+        self.failure_events.append(event)
+        registry = get_registry()
+        registry.counter("resilience.fallbacks").inc()
+        registry.counter(f"resilience.fallbacks.{module}").inc()
+        get_tracer().emit({"type": "degradation", **event})
 
     def window_start(self, t: int) -> None:
-        """Run the price computer at window boundaries."""
+        """Run the price computer at window boundaries.
+
+        When the offline pricing LP is unavailable (after retries), the
+        previous window's prices are retained: every quote stays
+        well-defined, at the cost of staleness, which the
+        ``resilience.pc.staleness`` gauge (consecutive stale windows)
+        makes visible.
+        """
         if t % self.config.window == 0:
+            registry = get_registry()
             with get_tracer().span("pc.update", step=t) as span:
-                updated = self.pricer.update(self.contracts, t)
+                try:
+                    updated = self.pricer.update(self.contracts, t)
+                except LPError as exc:
+                    span.set(degraded=True, updated=False)
+                    self._stale_windows += 1
+                    registry.counter("resilience.stale_windows.pc").inc()
+                    registry.gauge("resilience.pc.staleness").set(
+                        self._stale_windows)
+                    self._record_degradation("pc", t, exc,
+                                             action="stale_prices")
+                    return
                 span.set(updated=updated)
             if updated:
                 self.price_updates += 1
-                get_registry().counter("pretium.price_updates").inc()
+                self._stale_windows = 0
+                registry.gauge("resilience.pc.staleness").set(0)
+                registry.counter("pretium.price_updates").inc()
 
     def arrival(self, request: ByteRequest, t: int) -> Contract | None:
         """Quote, let the customer respond, admit.
@@ -99,8 +151,18 @@ class PretiumController:
             self.contracts.append(contract)
             metrics.counter("pretium.scavenger").inc()
             return contract
-        with get_tracer().span("ra.quote", step=t, rid=request.rid):
-            menu = self.admission.quote(request, t)
+        with get_tracer().span("ra.quote", step=t, rid=request.rid) as span:
+            try:
+                self._current_injector().check("ra", t)
+                menu = self.admission.quote(request, t)
+            except LPError as exc:
+                # Quote machinery down: degrade to the conservative
+                # current-prices menu rather than rejecting outright.
+                span.set(degraded=True)
+                self._record_degradation("ra", t, exc,
+                                         action="quote_from_prices",
+                                         rid=request.rid)
+                menu = self.admission.quote_degraded(request, t)
         self.menus[request.rid] = menu
         chosen = self.user.choose(request, menu)
         contract = self.admission.admit(request, menu, chosen, t)
@@ -113,29 +175,51 @@ class PretiumController:
 
     def step(self, t: int, delivered: dict[int, float],
              loads: np.ndarray) -> list[Transmission]:
-        """Transmissions to execute at timestep ``t``."""
+        """Transmissions to execute at timestep ``t``.
+
+        If the SAM LP is unavailable even after retries, the step falls
+        back to replaying the *last installed feasible plan* (what
+        ``state.plan`` holds: the previous SAM plan plus the preliminary
+        reservations of requests admitted since), rescaled to each
+        contract's outstanding volume — so every pre-fault guarantee
+        keeps its capacity backing and the run continues.
+        """
         if self.config.sam_enabled:
+            failure = None
             with get_tracer().span("sam.adjust", step=t,
-                                   n_contracts=len(self.contracts)):
-                plan = self.sam.adjust(self.contracts, delivered, loads, t)
+                                   n_contracts=len(self.contracts)) as span:
+                try:
+                    plan = self.sam.adjust(self.contracts, delivered,
+                                           loads, t)
+                except LPError as exc:
+                    span.set(degraded=True)
+                    failure = exc
+            if failure is not None:
+                self._record_degradation("sam", t, failure,
+                                         action="plan_replay")
+                return self._planned_step(t, delivered)
             if plan is None:
                 plan = []
             active = {c.rid for c in self.contracts
                       if c.request.deadline >= t}
             install_plan(self.state, plan, t, active_rids=active)
             return transmissions_now(plan, t)
-        return self._preliminary_step(t, delivered)
+        return self._planned_step(t, delivered)
 
-    # -- NoSAM execution -----------------------------------------------------
-    def _preliminary_step(self, t: int,
-                          delivered: dict[int, float]) -> list[Transmission]:
-        """Execute the preliminary (admission-time) plan verbatim.
+    # -- plan replay (NoSAM mode and SAM degradation fallback) ---------------
+    def _planned_step(self, t: int,
+                      delivered: dict[int, float]) -> list[Transmission]:
+        """Execute the currently installed plan verbatim at ``t``.
 
-        Volumes are clamped to the links' *current* usable capacity: a
-        reservation on a link that has since failed (or lost headroom to
-        high-pri traffic) cannot physically transmit.  Without SAM there
-        is no replanning, so clamped volume is simply lost — which is the
-        point of the Figure 11 ablation.
+        Volumes are clamped to each contract's outstanding volume and to
+        the links' *current* usable capacity: a reservation on a link
+        that has since failed (or lost headroom to high-pri traffic)
+        cannot physically transmit.  Two callers: the Pretium-NoSAM
+        ablation (the plan is the admission-time preliminary schedule,
+        clamped volume is simply lost — the point of Figure 11) and the
+        SAM degradation fallback (the plan is the last feasible SAM
+        schedule, so guarantees keep their backing until the solver
+        recovers).
         """
         step_loads = np.zeros(self.state.topology.num_links)
         capacity = self.state.capacity[t]

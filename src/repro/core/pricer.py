@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..faults.resilience import RetryPolicy, resilient_solve
 from ..lp import LE, Model, add_sum_topk, add_sum_topk_coo, quicksum
 from ..lp.grouping import PairGroups
 from .admission import EPS, Contract
@@ -31,13 +32,26 @@ from .state import NetworkState
 
 
 class PriceComputer:
-    """The PC module."""
+    """The PC module.
 
-    def __init__(self, state: NetworkState, billing_window: int) -> None:
+    ``injector`` scopes fault injection to this instance; ``None`` falls
+    back to the process-wide injector at solve time.
+    """
+
+    def __init__(self, state: NetworkState, billing_window: int,
+                 injector=None) -> None:
         if billing_window <= 0:
             raise ValueError("billing window must be positive")
         self.state = state
         self.billing_window = billing_window
+        self.injector = injector
+
+    def _solve_lp(self, model: Model, now: int):
+        """All PC solves funnel through the resilience layer."""
+        return resilient_solve(
+            model, "pc", now,
+            policy=RetryPolicy.from_config(self.state.config),
+            injector=self.injector)
 
     def update(self, contracts: list[Contract], now: int) -> bool:
         """Recompute prices at window-start ``now``.
@@ -182,7 +196,7 @@ class PriceComputer:
         model.set_objective_coo(
             np.concatenate(obj_cols) if obj_cols else np.zeros(0, np.int64),
             np.concatenate(obj_vals) if obj_vals else np.zeros(0))
-        solution = model.solve()
+        solution = self._solve_lp(model, period_end)
 
         duals = np.zeros((period_len, n_links))
         if cap_block is not None:
@@ -277,7 +291,7 @@ class PriceComputer:
 
         model.set_objective(quicksum(value_terms) - quicksum(cost_terms)
                             if cost_terms else quicksum(value_terms))
-        solution = model.solve()
+        solution = self._solve_lp(model, period_end)
 
         duals = np.zeros((period_len, n_links))
         for (index, t), constraint in cap_constraints.items():

@@ -24,10 +24,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults.resilience import RetryPolicy, resilient_solve
 from ..lp import GE, LE, InfeasibleError, Model, add_sum_topk, \
     add_sum_topk_coo, quicksum
 from ..lp.grouping import PairGroups
 from ..network import Path
+from ..telemetry import get_registry
 from .admission import EPS, Contract
 from .state import NetworkState
 
@@ -46,13 +48,19 @@ class Transmission:
 
 
 class ScheduleAdjuster:
-    """The SAM module."""
+    """The SAM module.
 
-    def __init__(self, state: NetworkState, billing_window: int) -> None:
+    ``injector`` scopes fault injection to this instance; ``None`` falls
+    back to the process-wide injector at solve time.
+    """
+
+    def __init__(self, state: NetworkState, billing_window: int,
+                 injector=None) -> None:
         if billing_window <= 0:
             raise ValueError("billing window must be positive")
         self.state = state
         self.billing_window = billing_window
+        self.injector = injector
 
     def adjust(self, contracts: list[Contract],
                delivered: dict[int, float],
@@ -76,8 +84,16 @@ class ScheduleAdjuster:
         except InfeasibleError:
             # A fault broke feasibility of the outstanding guarantees;
             # degrade to best effort rather than dropping the step.
+            get_registry().counter("resilience.guarantee_drops.sam").inc()
             return self._solve(active, delivered, realized_loads, now,
                                enforce_guarantees=False)
+
+    def _solve_lp(self, model: Model, now: int):
+        """All SAM solves funnel through the resilience layer."""
+        return resilient_solve(
+            model, "sam", now,
+            policy=RetryPolicy.from_config(self.state.config),
+            injector=self.injector)
 
     # -- LP construction ---------------------------------------------------
     def _solve(self, active: list[Contract], delivered: dict[int, float],
@@ -187,7 +203,7 @@ class ScheduleAdjuster:
         model.set_objective_coo(
             np.concatenate(obj_cols) if obj_cols else np.zeros(0, np.int64),
             np.concatenate(obj_vals) if obj_vals else np.zeros(0))
-        solution = model.solve()
+        solution = self._solve_lp(model, now)
 
         x = solution.x
         plan = []
@@ -318,7 +334,7 @@ class ScheduleAdjuster:
 
         model.set_objective(quicksum(value_terms) - quicksum(cost_terms)
                             if cost_terms else quicksum(value_terms))
-        solution = model.solve()
+        solution = self._solve_lp(model, now)
 
         plan = [Transmission(contract.rid, path.link_indices(), t,
                              solution.value(var))

@@ -1,0 +1,31 @@
+"""Fault injection and graceful degradation (see DESIGN.md §"Failure
+model & degradation semantics").
+
+Two halves:
+
+- :mod:`~repro.faults.injector` — a deterministic, seeded
+  :class:`FaultInjector` that raises LP exceptions at chosen
+  (module, timestep) points, configured from a compact spec string
+  (``PretiumConfig.faults`` / ``run --faults``);
+- :mod:`~repro.faults.resilience` — :func:`resilient_solve`, the
+  retry-with-backoff + budget wrapper every SAM/PC solver call goes
+  through, and the :class:`RetryPolicy` derived from the config.
+
+The module-level fallbacks themselves live with their modules: SAM
+replays the last installed feasible plan, PC retains stale prices, RA
+quotes straight from current prices (:meth:`RequestAdmission.
+quote_degraded`).  The simulation engine additionally catches LP errors
+at every module boundary so schemes without a resilience layer still
+complete (``RunResult.extras["failures"]``).
+"""
+
+from .injector import (KINDS, MODULES, FaultInjector, FaultRule,
+                       FaultSpecError, get_injector, is_injected,
+                       parse_fault_spec, set_injector, use_injector)
+from .resilience import MAX_BACKOFF, RetryPolicy, resilient_solve
+
+__all__ = [
+    "FaultInjector", "FaultRule", "FaultSpecError", "KINDS", "MAX_BACKOFF",
+    "MODULES", "RetryPolicy", "get_injector", "is_injected",
+    "parse_fault_spec", "resilient_solve", "set_injector", "use_injector",
+]

@@ -1,0 +1,96 @@
+"""Retry-with-backoff and budgets around :func:`repro.lp.solver.solve_model`.
+
+:func:`resilient_solve` is the single choke point through which SAM and
+PC reach the LP backend.  It consults the current
+:class:`~repro.faults.injector.FaultInjector` before every attempt (so
+injected faults exercise the very same code path as genuine backend
+failures), applies the configured time/iteration budgets, and retries
+transient failures (:class:`~repro.lp.errors.SolverError`, including
+timeouts) with exponential backoff.  Infeasibility and unboundedness are
+*never* retried: a deterministic LP that is infeasible stays infeasible,
+and each module owns a semantic fallback for that case (SAM drops
+guarantee rows; PC keeps stale prices; RA quotes from current prices).
+
+Telemetry: every retry increments ``resilience.retries`` and
+``resilience.retries.<module>``; an exhausted budget increments
+``resilience.exhausted.<module>`` before the error escapes to the
+module-level fallback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..lp.errors import SolverError
+from ..lp.solver import Solution, solve_model
+from ..telemetry import get_registry, get_tracer
+from .injector import FaultInjector, get_injector
+
+#: Upper bound on one backoff sleep, seconds (keeps a misconfigured
+#: exponential from stalling a simulation).
+MAX_BACKOFF = 1.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/budget knobs for one module's solver calls.
+
+    ``retries`` is the number of *additional* attempts after the first;
+    ``backoff`` seconds doubles per retry (0 disables sleeping, the
+    default — simulated time does not benefit from wall-clock waits).
+    """
+
+    retries: int = 2
+    backoff: float = 0.0
+    time_limit: float | None = None
+    maxiter: int | None = None
+
+    @classmethod
+    def from_config(cls, config) -> "RetryPolicy":
+        """Derive the policy from a :class:`~repro.core.config.PretiumConfig`."""
+        return cls(retries=config.solver_retries,
+                   backoff=config.solver_backoff,
+                   time_limit=config.solver_time_limit,
+                   maxiter=config.solver_maxiter)
+
+
+def resilient_solve(model, module: str, step: int,
+                    policy: RetryPolicy | None = None,
+                    injector: FaultInjector | None = None) -> Solution:
+    """Solve ``model`` with injection, budgets and retry-with-backoff.
+
+    Parameters
+    ----------
+    module, step:
+        The (module, timestep) injection point this solve belongs to.
+    policy:
+        Retry/budget policy; defaults to :class:`RetryPolicy()`.
+    injector:
+        Explicit injector; defaults to the process-wide current one.
+
+    Raises whatever the final attempt raised once retries are exhausted;
+    :class:`~repro.lp.errors.InfeasibleError` propagates immediately.
+    """
+    policy = policy or RetryPolicy()
+    registry = get_registry()
+    attempt = 0
+    while True:
+        try:
+            active = injector if injector is not None else get_injector()
+            active.check(module, step)
+            return solve_model(model, time_limit=policy.time_limit,
+                               maxiter=policy.maxiter)
+        except SolverError as exc:
+            if attempt >= policy.retries:
+                registry.counter(f"resilience.exhausted.{module}").inc()
+                raise
+            attempt += 1
+            registry.counter("resilience.retries").inc()
+            registry.counter(f"resilience.retries.{module}").inc()
+            get_tracer().emit({"type": "retry", "module": module,
+                               "step": step, "attempt": attempt,
+                               "error": type(exc).__name__})
+            if policy.backoff > 0:
+                time.sleep(min(policy.backoff * 2 ** (attempt - 1),
+                               MAX_BACKOFF))

@@ -6,7 +6,7 @@ This replaces the Gurobi dependency of the original Pretium implementation.
 """
 
 from .errors import (InfeasibleError, LPError, ModelError, SolverError,
-                     UnboundedError)
+                     SolverTimeout, UnboundedError)
 from .model import (EQ, GE, LE, Constraint, ConstraintBlock, LinExpr, Model,
                     Variable, VariableBlock, quicksum, weighted_sum)
 from .solver import Solution, solve_model
@@ -18,7 +18,8 @@ from .topk import (TOPK_ENCODINGS, add_sum_topk, add_sum_topk_coo,
 __all__ = [
     "Constraint", "ConstraintBlock", "EQ", "GE", "InfeasibleError", "LE",
     "LPError", "LinExpr", "Model", "ModelError", "Solution", "SolverError",
-    "TOPK_ENCODINGS", "UnboundedError", "Variable", "VariableBlock",
+    "SolverTimeout", "TOPK_ENCODINGS", "UnboundedError", "Variable",
+    "VariableBlock",
     "add_sum_topk", "add_sum_topk_coo", "add_sum_topk_cvar",
     "add_sum_topk_cvar_coo", "add_sum_topk_sorting",
     "add_sum_topk_sorting_coo", "quicksum", "solve_model", "sum_topk_exact",

@@ -29,3 +29,13 @@ class UnboundedError(LPError):
 
 class SolverError(LPError):
     """The backend solver failed for a reason other than in/unboundedness."""
+
+
+class SolverTimeout(SolverError):
+    """The backend hit an iteration or wall-clock budget before converging.
+
+    Distinguished from a plain :class:`SolverError` because a timeout is
+    *transient by policy*: the resilience layer (:mod:`repro.faults`) may
+    retry it with a larger budget, whereas infeasibility never benefits
+    from a retry.
+    """

@@ -560,10 +560,14 @@ class Model:
         self.objective = None
 
     # -- solving -------------------------------------------------------
-    def solve(self):
-        """Solve and return a :class:`repro.lp.solver.Solution`."""
+    def solve(self, time_limit: float | None = None,
+              maxiter: int | None = None):
+        """Solve and return a :class:`repro.lp.solver.Solution`.
+
+        Budgets are forwarded to :func:`repro.lp.solver.solve_model`.
+        """
         from .solver import solve_model
-        return solve_model(self)
+        return solve_model(self, time_limit=time_limit, maxiter=maxiter)
 
     def __repr__(self) -> str:
         return (f"Model({self.name!r}, sense={self.sense}, "

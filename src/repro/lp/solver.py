@@ -20,13 +20,15 @@ from scipy import sparse
 from scipy.optimize import linprog
 
 from ..telemetry import get_tracer
-from .errors import InfeasibleError, ModelError, SolverError, UnboundedError
+from .errors import InfeasibleError, ModelError, SolverError, SolverTimeout, \
+    UnboundedError
 from .model import SENSE_CODES, ConstraintBlock, EQ, GE, Model, Variable, \
     VariableBlock
 
 #: linprog status codes (scipy docs): 0 ok, 1 iteration limit, 2 infeasible,
 #: 3 unbounded, 4 numerical trouble.
 _STATUS_OK = 0
+_STATUS_LIMIT = 1
 _STATUS_INFEASIBLE = 2
 _STATUS_UNBOUNDED = 3
 
@@ -198,14 +200,24 @@ def _assemble(model: Model):
         (eq_mask, eq_row, ub_row, flip)
 
 
-def solve_model(model: Model) -> Solution:
+def solve_model(model: Model, time_limit: float | None = None,
+                maxiter: int | None = None) -> Solution:
     """Solve ``model`` with HiGHS and return a :class:`Solution`.
+
+    ``time_limit`` (seconds) and ``maxiter`` bound the solve; hitting
+    either budget raises :class:`SolverTimeout` so callers can retry with
+    a larger budget or degrade (see :mod:`repro.faults.resilience`).
 
     Raises
     ------
-    InfeasibleError, UnboundedError, SolverError
+    InfeasibleError, UnboundedError, SolverTimeout, SolverError
         On the corresponding solver outcomes.
     """
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    if maxiter is not None:
+        options["maxiter"] = int(maxiter)
     with get_tracer().span("lp.solve", model=model.name,
                            sense=model.sense) as span:
         with get_tracer().span("lp.assemble", model=model.name):
@@ -217,7 +229,8 @@ def solve_model(model: Model) -> Solution:
         result = linprog(c, A_ub=A_ub,
                          b_ub=b_ub if A_ub is not None else None,
                          A_eq=A_eq, b_eq=b_eq if A_eq is not None else None,
-                         bounds=bounds, method="highs")
+                         bounds=bounds, method="highs",
+                         options=options or None)
         span.set(status=int(result.status),
                  iterations=int(getattr(result, "nit", 0)))
 
@@ -225,6 +238,11 @@ def solve_model(model: Model) -> Solution:
             raise InfeasibleError(f"model {model.name!r} is infeasible")
         if result.status == _STATUS_UNBOUNDED:
             raise UnboundedError(f"model {model.name!r} is unbounded")
+        if result.status == _STATUS_LIMIT:
+            raise SolverTimeout(
+                f"model {model.name!r}: budget exhausted before convergence "
+                f"(time_limit={time_limit}, maxiter={maxiter}: "
+                f"{result.message})")
         if result.status != _STATUS_OK:
             raise SolverError(f"model {model.name!r}: solver failed "
                               f"(status {result.status}: {result.message})")

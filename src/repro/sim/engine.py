@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.admission import EPS
-from ..telemetry import get_tracer
+from ..lp import LPError
+from ..telemetry import get_registry, get_tracer
 from ..traffic.workload import Workload
 
 #: Relative capacity tolerance: LP solutions may overshoot by solver
@@ -36,6 +37,23 @@ CAPACITY_SLACK = 1e-6
 
 class CapacityViolation(RuntimeError):
     """A scheme scheduled more volume than a link can carry."""
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One LP failure that escaped a scheme at a module boundary.
+
+    The engine records these instead of crashing the run (the scheduler
+    is on the critical path; see DESIGN.md §"Failure model"): the failed
+    call is skipped — prices stay stale, the arrival goes unadmitted, or
+    the step transmits nothing — and the simulation continues.
+    """
+
+    module: str          # "ra" | "sam" | "pc"
+    step: int
+    error: str           # exception class name
+    detail: str
+    rid: int | None = None
 
 
 @dataclass
@@ -120,26 +138,49 @@ def simulate(scheme, workload: Workload) -> RunResult:
     capacity = _capacity_view(scheme, workload)
     window = _window_of(scheme, workload)
 
+    failures: list[FailureEvent] = []
+
     with tracer.span("run", scheme=scheme_name, n_steps=workload.n_steps,
                      n_requests=workload.n_requests) as run_span:
         for t in range(workload.n_steps):
+            # LP errors are caught at every module boundary: a scheme
+            # without its own resilience layer loses that one call
+            # (stale prices / unadmitted arrival / idle step) but the
+            # run completes and the failure is recorded structurally.
             if t % window == 0:
                 with tracer.span("pc", step=t) as span:
-                    scheme.window_start(t)
+                    try:
+                        scheme.window_start(t)
+                    except LPError as exc:
+                        span.set(degraded=True, error=type(exc).__name__)
+                        _record_failure(failures, "pc", t, exc)
                 if span.duration > 0:
                     runtimes.pc.append(span.duration)
             else:
                 # Off-boundary calls are cheap no-ops for every scheme;
                 # timing them would only dilute the PC samples.
-                scheme.window_start(t)
+                try:
+                    scheme.window_start(t)
+                except LPError as exc:
+                    _record_failure(failures, "pc", t, exc)
 
             for request in arrivals.get(t, []):
                 with tracer.span("ra", step=t, rid=request.rid) as span:
-                    scheme.arrival(request, t)
+                    try:
+                        scheme.arrival(request, t)
+                    except LPError as exc:
+                        span.set(degraded=True, error=type(exc).__name__)
+                        _record_failure(failures, "ra", t, exc,
+                                        rid=request.rid)
                 runtimes.ra.append(span.duration)
 
             with tracer.span("sam", step=t) as span:
-                transmissions = scheme.step(t, dict(delivered), loads)
+                try:
+                    transmissions = scheme.step(t, dict(delivered), loads)
+                except LPError as exc:
+                    span.set(degraded=True, error=type(exc).__name__)
+                    _record_failure(failures, "sam", t, exc)
+                    transmissions = []
                 span.set(n_transmissions=len(transmissions))
             runtimes.sam.append(span.duration)
 
@@ -149,9 +190,14 @@ def simulate(scheme, workload: Workload) -> RunResult:
         payments = _settle(scheme, delivered)
         chosen = {c.rid: c.chosen for c in getattr(scheme, "contracts", [])}
         run_span.set(delivered=float(sum(delivered.values())),
-                     n_contracts=len(chosen))
+                     n_contracts=len(chosen), n_failures=len(failures))
 
     extras = {"runtimes": runtimes}
+    if failures:
+        extras["failures"] = failures
+    degradation = getattr(scheme, "failure_events", None)
+    if degradation:
+        extras["degradation"] = list(degradation)
     state = getattr(scheme, "state", None)
     if state is not None:
         extras["prices"] = state.prices.copy()
@@ -160,6 +206,19 @@ def simulate(scheme, workload: Workload) -> RunResult:
                      loads=loads, delivered=dict(delivered),
                      payments=payments, chosen=chosen, extras=extras,
                      delivery_log=dict(delivery_log))
+
+
+def _record_failure(failures: list[FailureEvent], module: str, t: int,
+                    exc: BaseException, rid: int | None = None) -> None:
+    """Append a structured failure event and bump the engine counters."""
+    failures.append(FailureEvent(module=module, step=t,
+                                 error=type(exc).__name__,
+                                 detail=str(exc), rid=rid))
+    registry = get_registry()
+    registry.counter("engine.failures").inc()
+    registry.counter(f"engine.failures.{module}").inc()
+    get_tracer().emit({"type": "engine_failure", "module": module,
+                       "step": t, "error": type(exc).__name__})
 
 
 def _window_of(scheme, workload: Workload) -> int:

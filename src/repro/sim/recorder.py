@@ -39,7 +39,33 @@ def summarize(result: RunResult, cost_model: LinkCostModel) -> dict:
     }
     if runtimes is not None and hasattr(runtimes, "summary"):
         record["runtimes"] = runtimes.summary()
+    degradation = _degradation_summary(result)
+    if degradation is not None:
+        record.update(degradation)
     return record
+
+
+def _degradation_summary(result: RunResult) -> dict | None:
+    """Fault/degradation counts for a run, or ``None`` for a clean one.
+
+    ``failures`` are LP errors the engine absorbed at module boundaries;
+    ``degraded_steps`` are fallbacks the scheme itself performed (SAM
+    plan replay, RA price-quote fallback, PC stale prices).  Counts, not
+    raw events, so the summary stays JSON-friendly and diffable.
+    """
+    failures = result.extras.get("failures") or ()
+    degradation = result.extras.get("degradation") or ()
+    if not failures and not degradation:
+        return None
+    by_module: dict[str, int] = {}
+    for event in failures:
+        by_module[event.module] = by_module.get(event.module, 0) + 1
+    for event in degradation:
+        module = event["module"]
+        by_module[module] = by_module.get(module, 0) + 1
+    return {"failures": len(failures),
+            "degraded_steps": len(degradation),
+            "degraded_by_module": dict(sorted(by_module.items()))}
 
 
 def save_summary(record: dict, path: str | Path) -> None:

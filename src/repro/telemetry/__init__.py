@@ -21,15 +21,16 @@ the process registry.
 """
 
 from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
-                       get_registry, set_registry)
-from .report import aggregate_spans, module_runtimes, report_trace, \
-    runtime_table
+                       get_registry, set_registry, use_registry)
+from .report import aggregate_spans, metrics_table, module_runtimes, \
+    report_trace, runtime_table
 from .sinks import InMemoryCollector, TraceWriter, read_trace
 from .trace import Span, Tracer, get_tracer, set_tracer, use_tracer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "InMemoryCollector", "MetricsRegistry",
     "Span", "TraceWriter", "Tracer", "aggregate_spans", "get_registry",
-    "get_tracer", "module_runtimes", "read_trace", "report_trace",
-    "runtime_table", "set_registry", "set_tracer", "use_tracer",
+    "get_tracer", "metrics_table", "module_runtimes", "read_trace",
+    "report_trace", "runtime_table", "set_registry", "set_tracer",
+    "use_registry", "use_tracer",
 ]

@@ -10,6 +10,7 @@ engine feed every module invocation through it.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 
 
 class Counter:
@@ -185,3 +186,18 @@ def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
     previous = _registry
     _registry = registry if registry is not None else MetricsRegistry()
     return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None = None):
+    """Scope a registry (fresh by default) as process-wide for a block.
+
+    Yields the installed registry; instrumented code that calls
+    :func:`get_registry` inside the block lands its metrics there, which
+    is how CLI runs and tests isolate per-run counters.
+    """
+    previous = set_registry(registry)
+    try:
+        yield get_registry()
+    finally:
+        set_registry(previous)

@@ -71,13 +71,45 @@ def runtime_table(events: list[dict]) -> str:
         ["span", "count", "median_s", "p95_s", "max_s", "total_s"], rows)
 
 
+def metrics_table(events: list[dict]) -> str | None:
+    """Counter/gauge table from the trace's final metrics snapshot.
+
+    ``run --telemetry`` ends a trace with a ``metrics`` event holding the
+    run's registry snapshot (admissions, fault injections, resilience
+    retries/fallbacks, stale-price windows, ...).  Scalar metrics render
+    one row each; histogram summaries are collapsed to their count.
+    Returns ``None`` when the trace carries no metrics event.
+    """
+    snapshot = None
+    for event in events:
+        if event.get("type") == "metrics":
+            snapshot = event.get("metrics", {})
+    if not snapshot:
+        return None
+    rows = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        if isinstance(value, dict):  # histogram summary
+            rows.append([name, f"count={value.get('count', 0)}"])
+        elif isinstance(value, float):
+            rows.append([name, f"{value:g}"])
+        else:
+            rows.append([name, value])
+    return _format_table(["metric", "value"], rows)
+
+
 def report_trace(path: str | Path) -> str:
-    """Load a JSONL trace and render its runtime table (CLI entry)."""
+    """Load a JSONL trace and render its runtime (and, when the trace
+    carries a metrics snapshot, metrics) tables (CLI entry)."""
     events = read_trace(path)
     spans = [e for e in events if e.get("type") == "span"]
     if not spans:
         return f"no span events in {path}"
-    return runtime_table(events)
+    out = runtime_table(events)
+    metrics = metrics_table(events)
+    if metrics is not None:
+        out += "\n\n" + metrics
+    return out
 
 
 def _format_table(headers: list[str], rows: list[list]) -> str:

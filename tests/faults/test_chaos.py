@@ -1,0 +1,135 @@
+"""Chaos suite: end-to-end runs with faults at every module boundary.
+
+Every (module, fault-kind) pair is injected at a representative
+timestep of the two-day chaos world and the full Pretium stack must
+(1) complete the run, (2) honour every guarantee it sold before the
+fault, (3) keep the accounting invariants, and (4) leave the expected
+degradation trail in the metrics registry and run extras.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import summarize
+
+from .conftest import (assert_accounting_invariants, assert_guarantees_met,
+                       run_with_faults)
+
+#: Representative injection step per module: RA during the first-day
+#: arrival wave, SAM mid-day, PC at the day-2 window boundary (t=8) —
+#: the only step where the price recomputation actually runs.
+FAULT_STEPS = {"ra": 2, "sam": 4, "pc": 8}
+
+GRID = [(module, kind)
+        for module in ("ra", "sam", "pc")
+        for kind in ("solver", "infeasible", "timeout")]
+
+
+@pytest.fixture(scope="module")
+def clean_run(chaos_scenario):
+    return run_with_faults(chaos_scenario, None, trace_tag="clean")
+
+
+@pytest.mark.parametrize("module,kind", GRID,
+                         ids=[f"{m}-{k}" for m, k in GRID])
+def test_fault_at_every_module_degrades_gracefully(chaos_scenario, module,
+                                                   kind):
+    step = FAULT_STEPS[module]
+    spec = f"{module}:{kind}@{step}"
+    controller, result, snapshot = run_with_faults(
+        chaos_scenario, spec, trace_tag="grid")
+
+    # The run completed and still did real work.
+    assert result.loads.shape[0] == chaos_scenario.workload.n_steps
+    assert controller.contracts
+    assert result.total_delivered > 0
+
+    # Guarantees sold before the fault step are all honoured.
+    assert_guarantees_met(controller, result, admitted_before=step)
+    assert_accounting_invariants(controller, result, chaos_scenario)
+
+    # The injector hit, and the module left its degradation trail.
+    assert snapshot[f"faults.injected.{module}"] > 0
+    assert snapshot[f"resilience.fallbacks.{module}"] > 0
+    if module == "pc":
+        assert snapshot["resilience.stale_windows.pc"] > 0
+        assert snapshot["resilience.pc.staleness"] >= 1
+    if kind == "infeasible":
+        # Deterministic infeasibility is never retried.
+        assert f"resilience.retries.{module}" not in snapshot
+    elif module in ("sam", "pc"):
+        # Transient faults burn the retry budget before falling back.
+        assert snapshot[f"resilience.retries.{module}"] > 0
+        assert snapshot[f"resilience.exhausted.{module}"] > 0
+
+    # The structured degradation events point at the faulted module/step.
+    events = result.extras["degradation"]
+    assert events
+    assert {e["module"] for e in events} == {module}
+    assert all(e["step"] == step for e in events)
+
+
+def test_sam_fault_guarantees_hold_for_all_contracts(chaos_scenario):
+    # A mid-run SAM outage must not cost *any* guarantee: the replayed
+    # plan keeps every reservation's capacity backing.
+    controller, result, _ = run_with_faults(chaos_scenario, "sam:solver@4",
+                                            trace_tag="sam_all")
+    assert_guarantees_met(controller, result)
+
+
+def test_faults_in_all_modules_at_once(chaos_scenario):
+    spec = "ra:solver@2,sam:solver@4,pc:timeout@8"
+    controller, result, snapshot = run_with_faults(chaos_scenario, spec,
+                                                   trace_tag="all")
+    assert_guarantees_met(controller, result, admitted_before=2)
+    assert_accounting_invariants(controller, result, chaos_scenario)
+    for module in ("ra", "sam", "pc"):
+        assert snapshot[f"faults.injected.{module}"] > 0
+        assert snapshot[f"resilience.fallbacks.{module}"] > 0
+    assert {e["module"] for e in result.extras["degradation"]} == \
+        {"ra", "sam", "pc"}
+
+
+def test_retry_recovery_is_invisible(chaos_scenario, clean_run):
+    # With solver_retries=1, an x1 fault is absorbed by the retry: the
+    # run must be byte-identical to a clean one (modulo the retry
+    # counters) — no fallback, no degradation events.
+    _, clean_result, _ = clean_run
+    controller, result, snapshot = run_with_faults(
+        chaos_scenario, "sam:solver@4x1", trace_tag="retry")
+    assert snapshot["resilience.retries.sam"] == 1
+    assert "resilience.fallbacks.sam" not in snapshot
+    assert "degradation" not in result.extras
+    assert result.delivered == pytest.approx(clean_result.delivered)
+    assert result.payments == pytest.approx(clean_result.payments)
+    assert np.allclose(result.loads, clean_result.loads)
+
+
+def test_fault_runs_are_deterministic(chaos_scenario):
+    spec = "sam:solver@4,ra:infeasible@2"
+    _, first, _ = run_with_faults(chaos_scenario, spec, trace_tag="det1")
+    _, second, _ = run_with_faults(chaos_scenario, spec, trace_tag="det2")
+    assert first.delivered == pytest.approx(second.delivered)
+    assert first.payments == pytest.approx(second.payments)
+    assert np.allclose(first.loads, second.loads)
+    assert first.extras["degradation"] == second.extras["degradation"]
+
+
+def test_summary_surfaces_degradation_counts(chaos_scenario, clean_run):
+    _, result, _ = run_with_faults(chaos_scenario, "sam:solver@4",
+                                   trace_tag="summary")
+    record = summarize(result, chaos_scenario.cost_model)
+    assert record["degraded_steps"] >= 1
+    assert record["degraded_by_module"].get("sam", 0) >= 1
+
+    _, clean_result, _ = clean_run
+    clean_record = summarize(clean_result, chaos_scenario.cost_model)
+    assert "degraded_steps" not in clean_record
+
+
+def test_infeasible_sam_fault_drops_guarantee_rows(chaos_scenario):
+    # First attempt (guarantees enforced) hits the injected
+    # InfeasibleError; SAM records the drop before retrying best-effort.
+    _, _, snapshot = run_with_faults(chaos_scenario, "sam:infeasible@4",
+                                     trace_tag="drops")
+    assert snapshot["resilience.guarantee_drops.sam"] >= 1

@@ -1,0 +1,71 @@
+"""CLI coverage for ``run --faults`` and the metrics report plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def small_workload(tmp_path, capsys):
+    path = tmp_path / "wl.json"
+    main(["generate-workload", "--out", str(path), "--nodes", "8",
+          "--days", "1", "--steps-per-day", "6", "--seed", "1"])
+    capsys.readouterr()
+    return path
+
+
+def test_run_with_faults_reports_injections(small_workload, capsys):
+    code = main(["run", "--scheme", "Pretium", "--workload",
+                 str(small_workload), "--faults", "sam:solver@2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "faults injected:" in out
+    assert "sam:solver@2" in out
+    assert "degraded_steps" in out  # summarize() surfaced the fallback
+
+
+def test_run_rejects_malformed_fault_spec(small_workload, capsys):
+    code = main(["run", "--scheme", "Pretium", "--workload",
+                 str(small_workload), "--faults", "sam:explode@2"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "bad fault clause" in err
+
+
+def test_fault_counters_reach_the_telemetry_report(small_workload,
+                                                   tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    code = main(["run", "--scheme", "Pretium", "--workload",
+                 str(small_workload), "--faults", "sam:solver@2x1",
+                 "--telemetry", str(trace_path)])
+    assert code == 0
+    capsys.readouterr()
+
+    # The trace's final metrics event carries the fault counters...
+    events = [json.loads(line)
+              for line in trace_path.read_text().splitlines()]
+    (metrics,) = [e for e in events if e.get("type") == "metrics"]
+    assert metrics["metrics"]["faults.injected.sam"] >= 1
+    assert metrics["metrics"]["resilience.retries.sam"] >= 1
+
+    # ...and `telemetry report` renders them.
+    assert main(["telemetry", "report", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "faults.injected.sam" in out
+    assert "resilience.retries.sam" in out
+
+
+def test_fault_seed_changes_probabilistic_schedule(small_workload, capsys):
+    def injected(seed):
+        main(["run", "--scheme", "Pretium", "--workload",
+              str(small_workload), "--faults", "sam:solver@p0.5x3",
+              "--fault-seed", str(seed)])
+        out = capsys.readouterr().out
+        (line,) = [row for row in out.splitlines()
+                   if row.startswith("faults injected:")]
+        return int(line.split()[2])
+
+    counts = {injected(seed) for seed in range(4)}
+    assert all(0 <= n <= 3 for n in counts)

@@ -1,0 +1,115 @@
+"""Regression tests: LP errors must not escape the timestep loop.
+
+Before the module-boundary handlers, a scheme without its own resilience
+layer (any baseline, or a buggy Pretium path) would crash the whole
+simulation on the first LP hiccup.  These tests drive a stub scheme that
+raises at chosen boundaries and assert the engine absorbs the error,
+records a structured :class:`FailureEvent` and finishes the run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lp import InfeasibleError, SolverError
+from repro.network import parallel_paths_network
+from repro.sim import simulate
+from repro.sim.engine import FailureEvent
+from repro.core import ByteRequest
+from repro.telemetry import MetricsRegistry, use_registry
+from repro.traffic import Workload
+
+
+def tiny_workload(n_steps: int = 6) -> Workload:
+    topology = parallel_paths_network(10.0, 10.0)
+    requests = [ByteRequest(1, "S", "T", 5.0, 1, 1, 4, 2.0),
+                ByteRequest(2, "S", "T", 5.0, 2, 2, 5, 2.0)]
+    return Workload(topology, requests, n_steps=n_steps,
+                    steps_per_day=n_steps)
+
+
+class FlakyScheme:
+    """Minimal scheme whose chosen hooks raise LP errors at chosen steps."""
+
+    name = "Flaky"
+    contracts = ()
+
+    def __init__(self, fail: dict[str, tuple[int, Exception]]):
+        self.fail = fail
+        self.calls = []
+
+    def begin(self, workload):
+        pass
+
+    def _maybe_raise(self, hook: str, t: int):
+        self.calls.append((hook, t))
+        if hook in self.fail and self.fail[hook][0] == t:
+            raise self.fail[hook][1]
+
+    def window_start(self, t):
+        self._maybe_raise("window_start", t)
+
+    def arrival(self, request, t):
+        self._maybe_raise("arrival", t)
+
+    def step(self, t, delivered, loads):
+        self._maybe_raise("step", t)
+        return []
+
+
+def test_window_start_failure_is_absorbed():
+    scheme = FlakyScheme({"window_start": (0, SolverError("pc down"))})
+    with use_registry(MetricsRegistry()) as registry:
+        result = simulate(scheme, tiny_workload())
+        assert registry.counter("engine.failures.pc").value == 1
+    (event,) = result.extras["failures"]
+    assert event == FailureEvent(module="pc", step=0, error="SolverError",
+                                 detail="pc down")
+    # the run went the distance regardless
+    assert ("step", 5) in scheme.calls
+
+
+def test_arrival_failure_is_absorbed_and_names_the_request():
+    scheme = FlakyScheme({"arrival": (2, InfeasibleError("no quote"))})
+    with use_registry(MetricsRegistry()) as registry:
+        result = simulate(scheme, tiny_workload())
+        assert registry.counter("engine.failures.ra").value == 1
+    (event,) = result.extras["failures"]
+    assert (event.module, event.step, event.rid) == ("ra", 2, 2)
+    assert event.error == "InfeasibleError"
+
+
+def test_step_failure_transmits_nothing_and_continues():
+    scheme = FlakyScheme({"step": (3, SolverError("sam down"))})
+    with use_registry(MetricsRegistry()) as registry:
+        result = simulate(scheme, tiny_workload())
+        assert registry.counter("engine.failures.sam").value == 1
+    (event,) = result.extras["failures"]
+    assert (event.module, event.step) == ("sam", 3)
+    assert result.total_delivered == 0.0
+    assert np.all(result.loads == 0.0)
+    assert [t for hook, t in scheme.calls if hook == "step"] == \
+        list(range(6))
+
+
+def test_multiple_failures_all_recorded_in_order():
+    scheme = FlakyScheme({"window_start": (0, SolverError("a")),
+                          "step": (4, SolverError("b"))})
+    with use_registry(MetricsRegistry()) as registry:
+        result = simulate(scheme, tiny_workload())
+        assert registry.counter("engine.failures").value == 2
+    assert [(e.module, e.step) for e in result.extras["failures"]] == \
+        [("pc", 0), ("sam", 4)]
+
+
+def test_non_lp_errors_still_propagate():
+    # The boundary handlers are for LP failures only: a genuine bug in a
+    # scheme must crash loudly, not be swallowed as degradation.
+    scheme = FlakyScheme({"step": (0, RuntimeError("actual bug"))})
+    with pytest.raises(RuntimeError, match="actual bug"):
+        simulate(scheme, tiny_workload())
+
+
+def test_clean_runs_carry_no_failure_extras():
+    result = simulate(FlakyScheme({}), tiny_workload())
+    assert "failures" not in result.extras
+    assert "degradation" not in result.extras
