@@ -20,8 +20,8 @@ import numpy as np
 
 from repro.core import (ByteRequest, NetworkState, PretiumConfig,
                         RequestAdmission, ScheduleAdjuster)
+from repro.faults import resilience
 from repro.lp import solver as lp_solver
-from repro.lp.model import Model
 from repro.network import small_wan
 
 SCALES = {
@@ -66,15 +66,17 @@ def measure(lp_builder, monkeypatch, scale):
     plan = sam.adjust(contracts, {}, realized, now=2)
     total_s = time.perf_counter() - start
 
-    # Construction only: intercept Model.solve to capture the built model.
+    # Construction only: intercept the solver entry point to capture the
+    # built model.  SAM funnels every solve through the resilience layer,
+    # which binds `solve_model` at import time, so patch that binding.
     captured = {}
 
-    def capture(model):
+    def capture(model, **kwargs):
         captured["model"] = model
         raise _CaptureModel
 
     with monkeypatch.context() as patch:
-        patch.setattr(Model, "solve", capture)
+        patch.setattr(resilience, "solve_model", capture)
         start = time.perf_counter()
         try:
             sam.adjust(contracts, {}, realized, now=2)

@@ -17,12 +17,23 @@ Commands
 ``telemetry report``
     Aggregate a JSONL trace (from ``run --telemetry``) into a
     per-module runtime table (the Table 4 query).
+``telemetry audit``
+    Replay a trace's request ledger and check the economic invariants
+    (byte conservation, guarantees, menu convexity, settlement and
+    revenue reconciliation); non-zero exit on unwaived findings.
+``telemetry export``
+    Convert a trace to Chrome/Perfetto ``trace_event`` JSON
+    (``--format chrome-trace``) or Prometheus text exposition
+    (``--format prom``).
+``telemetry timeline``
+    Print one request's full economic history from a trace.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from contextlib import ExitStack
@@ -35,8 +46,10 @@ from .experiments.scenarios import Scenario
 from .faults import FaultInjector, FaultSpecError, use_injector
 from .network import wan_topology
 from .sim import save_summary, summarize
-from .telemetry import (MetricsRegistry, TraceWriter, Tracer, report_trace,
-                        use_registry, use_tracer)
+from .telemetry import (TraceWriter, Tracer, audit_events,
+                        chrome_trace_json, prometheus_text, read_trace,
+                        report_trace, timeline, unwaived, use_registry,
+                        use_tracer)
 from .traffic import NormalValues, build_workload, load_workload, \
     save_workload
 
@@ -110,6 +123,27 @@ def build_parser() -> argparse.ArgumentParser:
     rep = tel_sub.add_parser("report", help="aggregate a JSONL trace into "
                                             "a per-module runtime table")
     rep.add_argument("trace", help="trace file from run --telemetry")
+
+    aud = tel_sub.add_parser("audit", help="replay a trace's request "
+                                           "ledger and check invariants")
+    aud.add_argument("trace", help="trace file from run --telemetry")
+    aud.add_argument("--summary", metavar="PATH",
+                     help="summary JSON (from run --out) to reconcile "
+                          "revenue/welfare against")
+
+    exp = tel_sub.add_parser("export", help="convert a trace to an "
+                                            "external tool format")
+    exp.add_argument("trace", help="trace file from run --telemetry")
+    exp.add_argument("--format", required=True,
+                     choices=["chrome-trace", "prom"],
+                     help="chrome-trace: Perfetto/chrome://tracing JSON; "
+                          "prom: Prometheus text exposition")
+    exp.add_argument("--out", help="write here instead of stdout")
+
+    tml = tel_sub.add_parser("timeline", help="print one request's "
+                                              "economic history")
+    tml.add_argument("trace", help="trace file from run --telemetry")
+    tml.add_argument("rid", type=int, help="request id")
     return parser
 
 
@@ -208,19 +242,75 @@ def _cmd_list_figures() -> int:
     return 0
 
 
+def _load_trace(path: str) -> list[dict]:
+    """Read a JSONL trace for the telemetry subcommands.
+
+    Corrupt lines are skipped (with a warning) so a torn trace still
+    loads, but a non-empty file yielding *no* events at all is treated
+    as "not a trace" and raises ``ValueError``.
+    """
+    events = read_trace(path)
+    if not events and os.path.getsize(path) > 0:
+        raise ValueError(f"{path} is not a JSONL trace "
+                         "(no parseable events)")
+    return events
+
+
 def _cmd_telemetry(args) -> int:
-    if args.telemetry_command == "report":
-        try:
+    try:
+        if args.telemetry_command == "report":
+            _load_trace(args.trace)
             print(report_trace(args.trace))
-        except FileNotFoundError:
-            print(f"error: no such trace file: {args.trace}",
-                  file=sys.stderr)
-            return 1
-        except json.JSONDecodeError as exc:
-            print(f"error: {args.trace} is not a JSONL trace ({exc})",
-                  file=sys.stderr)
-            return 1
-        return 0
+            return 0
+        events = _load_trace(args.trace)
+        if args.telemetry_command == "audit":
+            summary = None
+            if args.summary:
+                with open(args.summary, encoding="utf-8") as handle:
+                    summary = json.load(handle)
+            findings = audit_events(events, summary=summary)
+            failing = unwaived(findings)
+            if not findings:
+                print("audit clean: all invariants hold")
+                return 0
+            rows = [[f.check, "" if f.rid is None else f.rid,
+                     "" if f.step is None else f.step,
+                     "waived" if f.waived else "VIOLATION", f.detail]
+                    for f in findings]
+            print(format_table(
+                ["check", "rid", "step", "status", "detail"], rows))
+            print(f"{len(findings)} finding(s), {len(failing)} unwaived")
+            return 1 if failing else 0
+        if args.telemetry_command == "export":
+            if args.format == "chrome-trace":
+                payload = chrome_trace_json(events)
+            else:
+                payload = prometheus_text(events)
+                if payload is None:
+                    print(f"error: {args.trace} has no metrics snapshot "
+                          "to export", file=sys.stderr)
+                    return 1
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                print(f"wrote {args.format} output to {args.out}")
+            else:
+                print(payload, end="" if payload.endswith("\n") else "\n")
+            return 0
+        if args.telemetry_command == "timeline":
+            try:
+                print(timeline(events, args.rid))
+            except KeyError:
+                print(f"error: no ledger events for request {args.rid} "
+                      f"in {args.trace}", file=sys.stderr)
+                return 1
+            return 0
+    except FileNotFoundError:
+        print(f"error: no such trace file: {args.trace}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     raise AssertionError(
         f"unhandled telemetry command {args.telemetry_command!r}")
 

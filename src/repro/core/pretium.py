@@ -23,7 +23,8 @@ import numpy as np
 
 from ..faults.injector import FaultInjector, get_injector
 from ..lp import LPError
-from ..telemetry import get_registry, get_tracer
+from ..telemetry import get_registry, get_tracer, ledger
+from ..telemetry.ledger import finite_or_none
 from .admission import EPS, Contract, RequestAdmission
 from .config import PretiumConfig
 from .pricer import PriceComputer
@@ -105,7 +106,11 @@ class PretiumController:
         registry = get_registry()
         registry.counter("resilience.fallbacks").inc()
         registry.counter(f"resilience.fallbacks.{module}").inc()
-        get_tracer().emit({"type": "degradation", **event})
+        # The ledger's DEGRADED event doubles as the auditor's waiver:
+        # a guarantee missed after one of these is expected, not silent.
+        ledger.record("DEGRADED", rid=rid, step=step, module=module,
+                      action=action, error=type(error).__name__,
+                      detail=str(error))
 
     def window_start(self, t: int) -> None:
         """Run the price computer at window boundaries.
@@ -150,7 +155,13 @@ class PretiumController:
             contract = Contract.scavenger(request, request.value, t)
             self.contracts.append(contract)
             metrics.counter("pretium.scavenger").inc()
+            ledger.record("ADMITTED", rid=request.rid, step=t,
+                          chosen=float(contract.chosen), guaranteed=0.0,
+                          marginal_price=finite_or_none(
+                              contract.marginal_price),
+                          flat_price=float(contract.flat_price))
             return contract
+        degraded = False
         with get_tracer().span("ra.quote", step=t, rid=request.rid) as span:
             try:
                 self._current_injector().check("ra", t)
@@ -159,18 +170,33 @@ class PretiumController:
                 # Quote machinery down: degrade to the conservative
                 # current-prices menu rather than rejecting outright.
                 span.set(degraded=True)
+                degraded = True
                 self._record_degradation("ra", t, exc,
                                          action="quote_from_prices",
                                          rid=request.rid)
                 menu = self.admission.quote_degraded(request, t)
+        if get_tracer().enabled:
+            ledger.record(
+                "QUOTED", rid=request.rid, step=t, degraded=degraded,
+                breakpoints=[[float(volume), float(price)]
+                             for volume, price in menu.breakpoints()],
+                max_guaranteed=float(menu.max_guaranteed),
+                best_effort_price=finite_or_none(menu.best_effort_price))
         self.menus[request.rid] = menu
         chosen = self.user.choose(request, menu)
         contract = self.admission.admit(request, menu, chosen, t)
         if contract is not None:
             self.contracts.append(contract)
             metrics.counter("pretium.admitted").inc()
+            ledger.record("ADMITTED", rid=request.rid, step=t,
+                          chosen=float(contract.chosen),
+                          guaranteed=float(contract.guaranteed),
+                          marginal_price=finite_or_none(
+                              contract.marginal_price),
+                          flat_price=None)
         else:
             metrics.counter("pretium.rejected").inc()
+            ledger.record("REJECTED", rid=request.rid, step=t)
         return contract
 
     def step(self, t: int, delivered: dict[int, float],

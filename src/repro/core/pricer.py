@@ -27,6 +27,7 @@ import numpy as np
 from ..faults.resilience import RetryPolicy, resilient_solve
 from ..lp import LE, Model, add_sum_topk, add_sum_topk_coo, quicksum
 from ..lp.grouping import PairGroups
+from ..telemetry import ledger
 from .admission import EPS, Contract
 from .state import NetworkState
 
@@ -79,6 +80,8 @@ class PriceComputer:
         reference = prices[period_end - window - period_start:
                            period_end - period_start]
         self.state.set_prices(now, reference)
+        ledger.record("PRICE_UPDATED", step=now, n_contracts=len(relevant),
+                      mean_price=float(reference.mean()))
         return True
 
     # -- offline hindsight LP ---------------------------------------------

@@ -29,7 +29,7 @@ from ..lp import GE, LE, InfeasibleError, Model, add_sum_topk, \
     add_sum_topk_coo, quicksum
 from ..lp.grouping import PairGroups
 from ..network import Path
-from ..telemetry import get_registry
+from ..telemetry import get_registry, ledger
 from .admission import EPS, Contract
 from .state import NetworkState
 
@@ -83,8 +83,12 @@ class ScheduleAdjuster:
                                enforce_guarantees=True)
         except InfeasibleError:
             # A fault broke feasibility of the outstanding guarantees;
-            # degrade to best effort rather than dropping the step.
+            # degrade to best effort rather than dropping the step.  The
+            # ledger event is the auditor's waiver for guarantees that
+            # consequently go unmet.
             get_registry().counter("resilience.guarantee_drops.sam").inc()
+            ledger.record("GUARANTEES_DROPPED", step=now,
+                          n_active=len(active))
             return self._solve(active, delivered, realized_loads, now,
                                enforce_guarantees=False)
 

@@ -20,6 +20,7 @@ runtimes (Table 4).
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -27,7 +28,7 @@ import numpy as np
 
 from ..core.admission import EPS
 from ..lp import LPError
-from ..telemetry import get_registry, get_tracer
+from ..telemetry import get_registry, get_tracer, ledger
 from ..traffic.workload import Workload
 
 #: Relative capacity tolerance: LP solutions may overshoot by solver
@@ -137,8 +138,21 @@ def simulate(scheme, workload: Workload) -> RunResult:
 
     capacity = _capacity_view(scheme, workload)
     window = _window_of(scheme, workload)
+    state = getattr(scheme, "state", None)
+    #: Per-(t, link) prices for pricing ALLOCATED ledger events; schemes
+    #: without a NetworkState get unpriced allocations.
+    prices = state.prices if state is not None else None
 
     failures: list[FailureEvent] = []
+
+    if tracer.enabled:
+        # The ground truth the invariant auditor replays against: the
+        # usable-capacity grid as of run start (faults only lower it, so
+        # conservation vs this grid stays a valid upper bound).
+        ledger.record("RUN_STARTED", scheme=scheme_name,
+                      n_steps=workload.n_steps, n_links=n_links,
+                      n_requests=workload.n_requests,
+                      capacity=np.asarray(capacity).tolist())
 
     with tracer.span("run", scheme=scheme_name, n_steps=workload.n_steps,
                      n_requests=workload.n_requests) as run_span:
@@ -165,6 +179,14 @@ def simulate(scheme, workload: Workload) -> RunResult:
                     _record_failure(failures, "pc", t, exc)
 
             for request in arrivals.get(t, []):
+                if tracer.enabled:
+                    ledger.record("ARRIVED", rid=request.rid, step=t,
+                                  src=request.src, dst=request.dst,
+                                  demand=float(request.demand),
+                                  value=float(request.value),
+                                  start=int(request.start),
+                                  deadline=int(request.deadline),
+                                  scavenger=bool(request.scavenger))
                 with tracer.span("ra", step=t, rid=request.rid) as span:
                     try:
                         scheme.arrival(request, t)
@@ -185,12 +207,18 @@ def simulate(scheme, workload: Workload) -> RunResult:
             runtimes.sam.append(span.duration)
 
             _apply(transmissions, t, loads, delivered, capacity,
-                   delivery_log)
+                   delivery_log, prices=prices, emit=tracer.enabled)
 
-        payments = _settle(scheme, delivered)
+        payments = _settle(scheme, delivered, emit=tracer.enabled)
         chosen = {c.rid: c.chosen for c in getattr(scheme, "contracts", [])}
         run_span.set(delivered=float(sum(delivered.values())),
                      n_contracts=len(chosen), n_failures=len(failures))
+        if tracer.enabled:
+            ledger.record("RUN_ENDED",
+                          delivered_total=float(sum(delivered.values())),
+                          payments_total=float(sum(payments.values())),
+                          n_contracts=len(chosen),
+                          n_failures=len(failures))
 
     extras = {"runtimes": runtimes}
     if failures:
@@ -198,7 +226,6 @@ def simulate(scheme, workload: Workload) -> RunResult:
     degradation = getattr(scheme, "failure_events", None)
     if degradation:
         extras["degradation"] = list(degradation)
-    state = getattr(scheme, "state", None)
     if state is not None:
         extras["prices"] = state.prices.copy()
     return RunResult(workload=workload,
@@ -217,8 +244,11 @@ def _record_failure(failures: list[FailureEvent], module: str, t: int,
     registry = get_registry()
     registry.counter("engine.failures").inc()
     registry.counter(f"engine.failures.{module}").inc()
-    get_tracer().emit({"type": "engine_failure", "module": module,
-                       "step": t, "error": type(exc).__name__})
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.emit({"type": "engine_failure", "ts": time.time(),
+                     "module": module, "step": t, "rid": rid,
+                     "error": type(exc).__name__})
 
 
 def _window_of(scheme, workload: Workload) -> int:
@@ -238,8 +268,15 @@ def _capacity_view(scheme, workload: Workload) -> np.ndarray:
 
 def _apply(transmissions, t: int, loads: np.ndarray,
            delivered: dict[int, float], capacity: np.ndarray,
-           delivery_log: dict[int, list[tuple[int, float]]]) -> None:
-    """Execute one step's transmissions, enforcing link capacities."""
+           delivery_log: dict[int, list[tuple[int, float]]],
+           prices: np.ndarray | None = None, emit: bool = False) -> None:
+    """Execute one step's transmissions, enforcing link capacities.
+
+    With ``emit`` set, every executed transmission leaves an ALLOCATED
+    ledger event carrying its bytes, route and (when ``prices`` is
+    given) the current per-unit path price — the ground-truth record the
+    invariant auditor replays.
+    """
     for tx in transmissions:
         if tx.timestep != t:
             raise CapacityViolation(
@@ -251,6 +288,13 @@ def _apply(transmissions, t: int, loads: np.ndarray,
             loads[t, index] += tx.volume
         delivered[tx.rid] += tx.volume
         delivery_log[tx.rid].append((t, tx.volume))
+        if emit:
+            unit_price = None if prices is None else \
+                float(prices[t, list(tx.links)].sum())
+            ledger.record("ALLOCATED", rid=tx.rid, step=t,
+                          bytes=float(tx.volume),
+                          route=[int(index) for index in tx.links],
+                          price=unit_price)
 
 
 def _check_capacity(tx, t: int, loads: np.ndarray,
@@ -268,10 +312,24 @@ def _check_capacity(tx, t: int, loads: np.ndarray,
                 f"(adding volume {tx.volume:.6f})")
 
 
-def _settle(scheme, delivered: dict[int, float]) -> dict[int, float]:
-    """Charge each contract for what was actually delivered."""
+def _settle(scheme, delivered: dict[int, float],
+            emit: bool = False) -> dict[int, float]:
+    """Charge each contract for what was actually delivered.
+
+    With ``emit`` set, each contract's settlement (delivered bytes and
+    the payment owed, plus the contract terms settlement was computed
+    from) is recorded as a SETTLED ledger event.
+    """
     payments: dict[int, float] = {}
     for contract in getattr(scheme, "contracts", []):
-        payments[contract.rid] = contract.payment_for(
-            delivered.get(contract.rid, 0.0))
+        volume = delivered.get(contract.rid, 0.0)
+        payment = contract.payment_for(volume)
+        payments[contract.rid] = payment
+        if emit:
+            flat = contract.flat_price
+            ledger.record("SETTLED", rid=contract.rid,
+                          delivered=float(volume), payment=float(payment),
+                          chosen=float(contract.chosen),
+                          guaranteed=float(contract.guaranteed),
+                          flat_price=None if flat is None else float(flat))
     return payments

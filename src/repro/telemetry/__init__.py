@@ -1,7 +1,7 @@
-"""Structured tracing, metrics and solver instrumentation.
+"""Structured tracing, metrics, request ledger and solver instrumentation.
 
-The observability layer for the whole stack (see DESIGN.md §"Telemetry &
-profiling"):
+The observability layer for the whole stack (see DESIGN.md
+§"Observability plane"):
 
 - :class:`MetricsRegistry` — counters, gauges and streaming histograms
   (p50/p95/p99 without storing samples);
@@ -9,17 +9,33 @@ profiling"):
   timestamps and structured attributes; disabled (no sinks) by default,
   in which case a span costs two ``perf_counter`` calls and nothing else;
 - :class:`TraceWriter` / :class:`InMemoryCollector` — JSONL file and
-  in-memory event sinks; :func:`read_trace` parses a file back;
-- :mod:`~repro.telemetry.report` — aggregate a trace into the per-module
-  runtime table behind the paper's Table 4.
+  in-memory event sinks; :func:`read_trace` parses a file back (skipping
+  torn/corrupt lines with a warning);
+- :mod:`~repro.telemetry.ledger` — the event-sourced per-request
+  lifecycle ledger (ARRIVED → QUOTED → ADMITTED → ALLOCATED →
+  SETTLED) and its :class:`Ledger` replay view;
+- :mod:`~repro.telemetry.audit` — the invariant auditor: byte
+  conservation, guarantee compliance, menu convexity and
+  revenue/welfare reconciliation as structured :class:`Finding` records;
+- :mod:`~repro.telemetry.export` — Chrome/Perfetto ``trace_event``
+  JSON, Prometheus text exposition, and per-request timelines;
+- :mod:`~repro.telemetry.report` — aggregate a trace into the
+  per-module runtime table behind the paper's Table 4.
 
 Instrumented call sites: :func:`repro.lp.solver.solve_model` emits
 ``lp.solve`` spans (LP size, status, iterations); the simulation engine
-emits ``run``, ``ra``, ``sam`` and ``pc`` spans; the Pretium controller
-counts admissions, rejections, scavenger contracts and price updates in
-the process registry.
+emits ``run``, ``ra``, ``sam`` and ``pc`` spans plus the ground-truth
+ledger events (ARRIVED, ALLOCATED, SETTLED, RUN_*); the Pretium
+controller emits QUOTED/ADMITTED/REJECTED/DEGRADED and counts
+admissions, rejections, scavenger contracts and price updates in the
+process registry; SAM and the price computer emit GUARANTEES_DROPPED
+and PRICE_UPDATED.
 """
 
+from .audit import Finding, audit_events, audit_trace, unwaived
+from .export import (chrome_trace, chrome_trace_json, prometheus_text,
+                     timeline)
+from .ledger import Ledger, RequestHistory, ledger_events
 from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
                        get_registry, set_registry, use_registry)
 from .report import aggregate_spans, metrics_table, module_runtimes, \
@@ -28,9 +44,11 @@ from .sinks import InMemoryCollector, TraceWriter, read_trace
 from .trace import Span, Tracer, get_tracer, set_tracer, use_tracer
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "InMemoryCollector", "MetricsRegistry",
-    "Span", "TraceWriter", "Tracer", "aggregate_spans", "get_registry",
-    "get_tracer", "metrics_table", "module_runtimes", "read_trace",
-    "report_trace", "runtime_table", "set_registry", "set_tracer",
-    "use_registry", "use_tracer",
+    "Counter", "Finding", "Gauge", "Histogram", "InMemoryCollector",
+    "Ledger", "MetricsRegistry", "RequestHistory", "Span", "TraceWriter",
+    "Tracer", "aggregate_spans", "audit_events", "audit_trace",
+    "chrome_trace", "chrome_trace_json", "get_registry", "get_tracer",
+    "ledger_events", "metrics_table", "module_runtimes", "prometheus_text",
+    "read_trace", "report_trace", "runtime_table", "set_registry",
+    "set_tracer", "timeline", "unwaived", "use_registry", "use_tracer",
 ]

@@ -1,0 +1,359 @@
+"""Invariant auditor: replay a ledger and check that the books balance.
+
+The fault suites used to assert "the run completes"; this module turns
+that into "the run completes *and* every economic invariant holds":
+
+- **byte conservation** — per (link, timestep), allocated bytes never
+  exceed the usable capacity recorded at run start;
+- **guarantee compliance** — every admitted request received its
+  guaranteed volume by its deadline (violations are *waived* when a
+  DEGRADED/GUARANTEES_DROPPED event explains them — a fault fallback is
+  an expected excuse, a silent miss is not);
+- **menu sanity** — recorded quotes are convex: positive quantities and
+  non-decreasing marginal prices, with ``x̄`` matching the breakpoints;
+- **allocation consistency** — no bytes delivered without an admission,
+  beyond the purchased volume, or outside the request's window;
+- **settlement** — the payment recorded at settlement equals the price
+  recomputed from the quoted menu for the delivered volume;
+- **reconciliation** — per-request totals add up to the run totals and,
+  when a :func:`repro.sim.recorder.summarize` record is supplied, to the
+  revenue/volume/value that record reports.
+
+Each violation is a structured :class:`Finding` naming the offending
+request/timestep/link, so a failed chaos run answers "which requests
+lost bytes and who paid for what" directly from its trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from .ledger import Ledger, RequestHistory
+from .sinks import read_trace
+
+#: Relative/absolute float slack, matching the engine's capacity slack.
+REL_TOL = 1e-6
+ABS_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation found while replaying a ledger.
+
+    ``waived`` marks violations explained by recorded degradation events
+    (an expected consequence of a fault fallback); ``telemetry audit``
+    exits non-zero only for unwaived findings.
+    """
+
+    check: str                # byte_conservation | guarantee | menu | ...
+    detail: str
+    rid: int | None = None
+    step: int | None = None
+    link: int | None = None
+    waived: bool = False
+
+
+def audit_trace(path: str | Path, summary: dict | None = None
+                ) -> list[Finding]:
+    """Audit a JSONL trace file (see :func:`audit_events`)."""
+    return audit_events(read_trace(path), summary=summary)
+
+
+def audit_events(events: list[dict], summary: dict | None = None
+                 ) -> list[Finding]:
+    """Replay ``events`` and return every invariant violation.
+
+    ``summary`` is an optional :func:`~repro.sim.recorder.summarize`
+    record for the same run; when given, ledger totals are reconciled
+    against its ``payments``/``delivered``/``total_value`` entries.
+    """
+    ledger = Ledger(events)
+    findings: list[Finding] = []
+    findings += _check_byte_conservation(ledger)
+    for history in ledger.requests():
+        findings += _check_request(history, ledger)
+    findings += _check_reconciliation(ledger, summary)
+    return findings
+
+
+def unwaived(findings: list[Finding]) -> list[Finding]:
+    """The findings that are actual failures (not degradation-waived)."""
+    return [f for f in findings if not f.waived]
+
+
+# -- per-(link, timestep) conservation --------------------------------------
+def _check_byte_conservation(ledger: Ledger) -> list[Finding]:
+    capacity = ledger.capacity_grid()
+    loads = ledger.link_loads()
+    if capacity is None:
+        if not loads:
+            return []
+        return [Finding("ledger", "allocations present but no RUN_STARTED "
+                        "capacity grid; byte conservation is unverifiable")]
+    findings = []
+    n_steps = len(capacity)
+    for (link, step), volume in sorted(loads.items(), key=lambda kv: kv[0]):
+        if step >= n_steps or link >= len(capacity[step]):
+            findings.append(Finding(
+                "byte_conservation", f"allocation at (link {link}, step "
+                f"{step}) outside the recorded capacity grid",
+                link=link, step=step))
+            continue
+        cap = float(capacity[step][link])
+        if volume > cap * (1.0 + REL_TOL) + ABS_TOL:
+            findings.append(Finding(
+                "byte_conservation",
+                f"link {link} at step {step} carries {volume:.6f} bytes "
+                f"but has usable capacity {cap:.6f}",
+                link=link, step=step))
+    return findings
+
+
+# -- per-request lifecycle ---------------------------------------------------
+def _check_request(history: RequestHistory, ledger: Ledger
+                   ) -> list[Finding]:
+    findings = []
+    findings += _check_menus(history)
+    findings += _check_allocations(history)
+    findings += _check_guarantee(history, ledger)
+    findings += _check_settlement(history)
+    return findings
+
+
+def _check_menus(history: RequestHistory) -> list[Finding]:
+    findings = []
+    for quote in history.quotes:
+        breakpoints = quote.get("breakpoints", [])
+        previous_volume = 0.0
+        previous_price = 0.0
+        for cumulative, price in breakpoints:
+            if cumulative <= previous_volume + 1e-12:
+                findings.append(Finding(
+                    "menu", f"quote at step {quote['step']} has a "
+                    f"non-increasing cumulative volume at {cumulative:g}",
+                    rid=history.rid, step=quote.get("step")))
+            if price < previous_price - 1e-9:
+                findings.append(Finding(
+                    "menu", f"quote at step {quote['step']} has a "
+                    f"decreasing marginal price ({previous_price:g} -> "
+                    f"{price:g}): the menu is not convex",
+                    rid=history.rid, step=quote.get("step")))
+            if price < 0:
+                findings.append(Finding(
+                    "menu", f"negative marginal price {price:g} quoted",
+                    rid=history.rid, step=quote.get("step")))
+            previous_volume, previous_price = cumulative, price
+        quoted_bound = quote.get("max_guaranteed")
+        if quoted_bound is not None and breakpoints:
+            last = float(breakpoints[-1][0])
+            if not math.isclose(last, float(quoted_bound),
+                                rel_tol=REL_TOL, abs_tol=ABS_TOL):
+                findings.append(Finding(
+                    "menu", f"quoted x̄ {quoted_bound:g} does not match "
+                    f"the breakpoints' total volume {last:g}",
+                    rid=history.rid, step=quote.get("step")))
+    admission = history.admission
+    quote = history.quote
+    if admission is not None and quote is not None \
+            and admission.get("flat_price") is None:
+        bound = float(quote.get("max_guaranteed") or 0.0)
+        guaranteed = history.guaranteed or 0.0
+        if guaranteed > bound * (1.0 + REL_TOL) + ABS_TOL:
+            findings.append(Finding(
+                "menu", f"admitted guarantee {guaranteed:.6f} exceeds the "
+                f"quoted bound x̄ = {bound:.6f}",
+                rid=history.rid, step=admission.get("step")))
+    return findings
+
+
+def _check_allocations(history: RequestHistory) -> list[Finding]:
+    findings = []
+    if history.allocations and history.admission is None \
+            and history.settlement is None:
+        first = history.allocations[0]
+        findings.append(Finding(
+            "allocation", f"{history.delivered_total:.6f} bytes allocated "
+            "to a request with no recorded admission",
+            rid=history.rid, step=int(first["step"])))
+    chosen = history.chosen
+    if chosen is not None:
+        delivered = history.delivered_total
+        if delivered > chosen * (1.0 + REL_TOL) + ABS_TOL:
+            findings.append(Finding(
+                "allocation", f"delivered {delivered:.6f} bytes but only "
+                f"{chosen:.6f} were purchased", rid=history.rid))
+    if history.arrived is not None:
+        start = int(history.arrived["start"])
+        deadline = int(history.arrived["deadline"])
+        for allocation in history.allocations:
+            step = int(allocation["step"])
+            if not start <= step <= deadline:
+                findings.append(Finding(
+                    "allocation", f"bytes moved at step {step}, outside "
+                    f"the request window [{start}, {deadline}]",
+                    rid=history.rid, step=step))
+    return findings
+
+
+def _check_guarantee(history: RequestHistory, ledger: Ledger
+                     ) -> list[Finding]:
+    guaranteed = history.guaranteed
+    if history.admission is None and history.settlement is None:
+        return []
+    if guaranteed is None or guaranteed <= ABS_TOL:
+        return []
+    deadline = history.deadline
+    delivered = history.delivered_total if deadline is None \
+        else history.delivered_by(deadline)
+    slack = max(ABS_TOL, REL_TOL * guaranteed)
+    if delivered >= guaranteed - slack:
+        return []
+    return [Finding(
+        "guarantee", f"guaranteed {guaranteed:.6f} bytes by step "
+        f"{deadline} but only {delivered:.6f} arrived",
+        rid=history.rid, step=deadline,
+        waived=_guarantee_waived(history, ledger))]
+
+
+def _guarantee_waived(history: RequestHistory, ledger: Ledger) -> bool:
+    """Is a missed guarantee explained by recorded degradation?
+
+    A request's own DEGRADED events always excuse it; a run-level
+    fallback (SAM plan replay, dropped guarantee rows, stale prices)
+    excuses every request whose window it could have touched.
+    """
+    if history.degradations:
+        return True
+    deadline = history.deadline
+    for event in ledger.run_degradations:
+        if deadline is None or int(event.get("step", 0)) <= deadline:
+            return True
+    return False
+
+
+def _check_settlement(history: RequestHistory) -> list[Finding]:
+    settlement = history.settlement
+    if settlement is None:
+        return []
+    findings = []
+    payment = float(settlement["payment"])
+    delivered = float(settlement["delivered"])
+    if payment < -ABS_TOL:
+        findings.append(Finding(
+            "settlement", f"negative payment {payment:g}",
+            rid=history.rid))
+    allocated = history.delivered_total
+    if not math.isclose(delivered, allocated,
+                        rel_tol=REL_TOL, abs_tol=ABS_TOL):
+        findings.append(Finding(
+            "settlement", f"settled for {delivered:.6f} bytes but the "
+            f"ledger allocated {allocated:.6f}", rid=history.rid))
+    expected = _expected_payment(history, delivered)
+    if expected is not None and not math.isclose(
+            payment, expected, rel_tol=1e-6, abs_tol=1e-6):
+        findings.append(Finding(
+            "settlement", f"paid {payment:.6f} but the quoted menu prices "
+            f"{delivered:.6f} delivered bytes at {expected:.6f}",
+            rid=history.rid))
+    return findings
+
+
+def _expected_payment(history: RequestHistory,
+                      delivered: float) -> float | None:
+    """Recompute the settlement price from the recorded quote.
+
+    Mirrors ``Contract.payment_for``: the guaranteed prefix is billed
+    along the menu breakpoints (cheapest first), best-effort volume at
+    the best-effort marginal price, scavenger volume at the flat named
+    price.  Returns ``None`` when the ledger lacks the quote.
+    """
+    record = history.admission or history.settlement
+    if record is None:
+        return None
+    chosen = history.chosen
+    if chosen is None:
+        return None
+    billable = min(delivered, chosen)
+    if billable <= ABS_TOL:
+        return 0.0
+    flat_price = record.get("flat_price")
+    if flat_price is not None:
+        return billable * float(flat_price)
+    quote = history.quote
+    if quote is None:
+        return None
+    guaranteed = history.guaranteed or 0.0
+    in_guarantee = min(billable, guaranteed)
+    total = _menu_price(quote.get("breakpoints", []), in_guarantee)
+    extra = billable - in_guarantee
+    if extra > ABS_TOL:
+        best_effort = quote.get("best_effort_price")
+        if best_effort is None:
+            return math.inf
+        total += extra * float(best_effort)
+    return total
+
+
+def _menu_price(breakpoints: list, x: float) -> float:
+    """Total price of ``x`` units along (cumulative volume, price) pairs."""
+    total = 0.0
+    previous = 0.0
+    for cumulative, price in breakpoints:
+        take = min(float(cumulative), x) - previous
+        if take > 0:
+            total += take * float(price)
+            previous += take
+        if x <= float(cumulative):
+            break
+    return total
+
+
+# -- run-level reconciliation ------------------------------------------------
+def _check_reconciliation(ledger: Ledger, summary: dict | None
+                          ) -> list[Finding]:
+    findings = []
+    settled_payments = ledger.total_payments()
+    allocated = ledger.total_delivered()
+    ended = ledger.run_ended
+    if ended is not None:
+        findings += _compare("reconciliation", "RUN_ENDED payments_total",
+                             float(ended["payments_total"]),
+                             settled_payments)
+        findings += _compare("reconciliation", "RUN_ENDED delivered_total",
+                             float(ended["delivered_total"]), allocated)
+    if summary is not None:
+        findings += _compare("reconciliation", "summary payments",
+                             float(summary["payments"]), settled_payments)
+        findings += _compare("reconciliation", "summary delivered",
+                             float(summary["delivered"]), allocated)
+        value = _ledger_value(ledger)
+        if value is not None and "total_value" in summary:
+            findings += _compare("reconciliation", "summary total_value",
+                                 float(summary["total_value"]), value)
+    return findings
+
+
+def _ledger_value(ledger: Ledger) -> float | None:
+    """Total delivered value per the ledger's ARRIVED records, or
+    ``None`` when any served request lacks one (partial ledger)."""
+    total = 0.0
+    for history in ledger.requests():
+        delivered = history.delivered_total
+        if delivered <= ABS_TOL:
+            continue
+        if history.arrived is None:
+            return None
+        total += float(history.arrived["value"]) * min(
+            delivered, float(history.arrived["demand"]))
+    return total
+
+
+def _compare(check: str, what: str, reported: float,
+             replayed: float) -> list[Finding]:
+    tolerance = ABS_TOL + REL_TOL * max(abs(reported), abs(replayed), 1.0)
+    if abs(reported - replayed) <= tolerance:
+        return []
+    return [Finding(check, f"{what} is {reported:.6f} but the ledger "
+                    f"replays to {replayed:.6f}")]

@@ -1,0 +1,215 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON, Prometheus
+textfile exposition, and per-request economic timelines.
+
+The JSONL traces ``run --telemetry`` writes are the source of truth;
+these functions re-shape them into formats external tools load directly:
+
+- :func:`chrome_trace` — the ``trace_event`` format Perfetto and
+  ``chrome://tracing`` open: spans become complete (``"ph": "X"``)
+  events, ledger/failure events become instants, so a run's module
+  timing and its economic lifecycle share one flame view;
+- :func:`prometheus_text` — the metrics snapshot a trace ends with, as
+  Prometheus text exposition (counters/gauges/summaries) suitable for a
+  node-exporter textfile collector;
+- :func:`timeline` — one request's full economic history (quote,
+  admission, per-step allocations with routes and prices, degradations,
+  settlement) rendered as text for the ``telemetry timeline`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from .ledger import Ledger
+
+#: trace_event categories by event type, for Perfetto's filter UI.
+_LEDGER_CATEGORY = "ledger"
+
+
+def chrome_trace(events: list[dict]) -> dict:
+    """A ``trace_event`` JSON object (the Perfetto/chrome://tracing
+    format) for a mixed trace event stream.
+
+    Spans map to complete events (``ph: "X"``, microsecond timestamps);
+    ledger, degradation and engine-failure events map to global instants
+    (``ph: "i"``); events without a wall-clock timestamp are skipped.
+    """
+    trace_events = [
+        {"ph": "M", "pid": 1, "tid": 1, "name": "process_name",
+         "args": {"name": "repro"}},
+        {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
+         "args": {"name": "simulation"}},
+    ]
+    for event in events:
+        kind = event.get("type")
+        ts = event.get("ts")
+        if ts is None:
+            continue
+        if kind == "span":
+            args = dict(event.get("attrs", {}))
+            args["span_id"] = event.get("span_id")
+            args["parent_id"] = event.get("parent_id")
+            trace_events.append({
+                "ph": "X", "pid": 1, "tid": 1,
+                "name": event["name"],
+                "cat": event["name"].split(".")[0],
+                "ts": float(ts) * 1e6,
+                "dur": max(0.0, float(event.get("duration", 0.0))) * 1e6,
+                "args": args,
+            })
+        elif kind == "ledger":
+            args = {key: value for key, value in event.items()
+                    if key not in ("type", "event", "ts", "capacity")}
+            trace_events.append({
+                "ph": "i", "pid": 1, "tid": 1, "s": "g",
+                "name": f"ledger.{event.get('event', '?')}",
+                "cat": _LEDGER_CATEGORY,
+                "ts": float(ts) * 1e6,
+                "args": args,
+            })
+        elif kind in ("degradation", "engine_failure"):
+            args = {key: value for key, value in event.items()
+                    if key not in ("type", "ts")}
+            trace_events.append({
+                "ph": "i", "pid": 1, "tid": 1, "s": "g",
+                "name": kind, "cat": "failure",
+                "ts": float(ts) * 1e6, "args": args,
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(events: list[dict]) -> str:
+    """:func:`chrome_trace` serialised (compact, one-line events)."""
+    return json.dumps(chrome_trace(events), indent=1)
+
+
+# -- Prometheus exposition ---------------------------------------------------
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_FIRST_OK = re.compile(r"^[a-zA-Z_:]")
+
+#: Histogram summary keys exported as quantile samples.
+_QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def prometheus_name(name: str) -> str:
+    """A metric name sanitised to the Prometheus grammar."""
+    out = _NAME_OK.sub("_", name)
+    if not _FIRST_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def prometheus_text(events: list[dict]) -> str | None:
+    """Prometheus text exposition of a trace's final metrics snapshot.
+
+    Counters/gauges become typed scalar samples; histogram summaries
+    become ``summary`` metrics (quantile samples plus ``_sum`` and
+    ``_count``).  Returns ``None`` when the trace carries no metrics
+    event.  Metric kinds come from the snapshot's ``kinds`` map when the
+    trace recorded one; untyped metrics fall back to ``gauge``.
+    """
+    snapshot, kinds = None, {}
+    for event in events:
+        if event.get("type") == "metrics":
+            snapshot = event.get("metrics", {})
+            kinds = event.get("kinds", {})
+    if snapshot is None:
+        return None
+    lines = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        prom = prometheus_name(name)
+        kind = kinds.get(name)
+        if isinstance(value, dict):
+            lines.append(f"# TYPE {prom} summary")
+            for key, quantile in _QUANTILES:
+                if key in value:
+                    lines.append(f'{prom}{{quantile="{quantile}"}} '
+                                 f'{_sample(value[key])}')
+            lines.append(f"{prom}_sum {_sample(value.get('sum', 0.0))}")
+            lines.append(f"{prom}_count {_sample(value.get('count', 0))}")
+        else:
+            prom_kind = kind if kind in ("counter", "gauge") else "gauge"
+            lines.append(f"# TYPE {prom} {prom_kind}")
+            lines.append(f"{prom} {_sample(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _sample(value) -> str:
+    """One Prometheus sample value (floats use repr, ints stay ints)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    return repr(value)
+
+
+# -- per-request timeline ----------------------------------------------------
+def timeline(events: list[dict], rid: int) -> str:
+    """One request's economic history as aligned text lines.
+
+    Raises ``KeyError`` when the ledger has no events for ``rid``.
+    """
+    ledger = Ledger(events)
+    history = ledger.request(rid)
+    lines = [f"request {rid} — status {history.status}"]
+    arrived = history.arrived
+    if arrived is not None:
+        lines.append(
+            f"  t={arrived['step']:>4}  ARRIVED    "
+            f"{arrived['src']} -> {arrived['dst']}, "
+            f"demand {float(arrived['demand']):g}, "
+            f"window [{arrived['start']}, {arrived['deadline']}]"
+            + ("  (scavenger)" if arrived.get("scavenger") else ""))
+    for quote in history.quotes:
+        n_segments = len(quote.get("breakpoints", []))
+        bound = float(quote.get("max_guaranteed") or 0.0)
+        degraded = "  [degraded]" if quote.get("degraded") else ""
+        lines.append(
+            f"  t={quote['step']:>4}  QUOTED     {n_segments} segment(s), "
+            f"x̄ = {bound:g}{degraded}")
+    admission = history.admission
+    if admission is not None:
+        flat = admission.get("flat_price")
+        marginal = admission.get("marginal_price")
+        if flat is not None:
+            price_note = f"flat price {float(flat):g}/unit"
+        elif marginal is not None:
+            price_note = f"marginal price {float(marginal):g}/unit"
+        else:
+            price_note = "marginal price n/a"
+        lines.append(
+            f"  t={admission['step']:>4}  ADMITTED   "
+            f"chose {float(admission['chosen']):g}, guaranteed "
+            f"{float(admission['guaranteed']):g}, {price_note}")
+    if history.rejection is not None:
+        lines.append(f"  t={history.rejection['step']:>4}  REJECTED   "
+                     "customer declined the menu")
+    cumulative = 0.0
+    merged = sorted(history.allocations + history.degradations,
+                    key=lambda e: int(e.get("step", 0)))
+    for event in merged:
+        if event.get("event") == "DEGRADED":
+            lines.append(
+                f"  t={event['step']:>4}  DEGRADED   {event['module']}: "
+                f"{event.get('action', '?')} ({event.get('error', '?')})")
+            continue
+        cumulative += float(event["bytes"])
+        route = ",".join(str(link) for link in event["route"])
+        price = event.get("price")
+        price_note = "" if price is None else f" @ {float(price):g}/unit"
+        lines.append(
+            f"  t={event['step']:>4}  ALLOCATED  {float(event['bytes']):g} "
+            f"bytes via links ({route}){price_note} "
+            f"(cumulative {cumulative:g})")
+    settlement = history.settlement
+    if settlement is not None:
+        lines.append(
+            f"  t={'end':>4}  SETTLED    delivered "
+            f"{float(settlement['delivered']):g}, paid "
+            f"{float(settlement['payment']):g}")
+    return "\n".join(lines)

@@ -153,6 +153,16 @@ class MetricsRegistry:
                 out[name] = metric.value
         return out
 
+    def kinds(self) -> dict[str, str]:
+        """Metric kind (``counter``/``gauge``/``histogram``) by name.
+
+        Snapshot values alone cannot distinguish a counter from a gauge;
+        exporters that care about types (Prometheus exposition) read
+        this map, which the tracer stores alongside the snapshot.
+        """
+        return {name: type(self._metrics[name]).__name__.lower()
+                for name in sorted(self._metrics)}
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 

@@ -21,13 +21,20 @@ MODULE_SPANS = ("ra", "sam", "pc")
 
 
 def aggregate_spans(events: list[dict]) -> dict[str, dict[str, float]]:
-    """Per-span-name duration statistics from a list of trace events."""
+    """Per-span-name duration statistics from a list of trace events.
+
+    Spans without a duration (a crashed run's trace can carry events
+    whose end was never written) are skipped rather than crashing the
+    aggregation — a partial trace should still report what it has.
+    """
     durations: dict[str, list[float]] = {}
     for event in events:
         if event.get("type") != "span":
             continue
-        durations.setdefault(event["name"], []).append(
-            float(event["duration"]))
+        duration = event.get("duration")
+        if duration is None:
+            continue
+        durations.setdefault(event["name"], []).append(float(duration))
     out = {}
     for name, samples in durations.items():
         arr = np.asarray(samples)

@@ -10,6 +10,7 @@ the filesystem.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -67,12 +68,26 @@ class TraceWriter:
         self.close()
 
 
-def read_trace(path: str | Path) -> list[dict]:
-    """Parse a JSONL trace back into a list of event dicts."""
+def read_trace(path: str | Path, strict: bool = False) -> list[dict]:
+    """Parse a JSONL trace back into a list of event dicts.
+
+    Truncated or corrupt lines — a run killed mid-write leaves a torn
+    final line, and chaos CI uploads traces of exactly such runs — are
+    skipped with a :class:`UserWarning` naming the line, so a damaged
+    trace still yields every intact event.  Pass ``strict=True`` to get
+    the old raise-on-first-error behaviour.
+    """
     events = []
     with Path(path).open() as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise
+                warnings.warn(f"skipping corrupt trace line {lineno} in "
+                              f"{path}: {exc}", stacklevel=2)
     return events

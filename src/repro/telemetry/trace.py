@@ -111,10 +111,16 @@ class Tracer:
             sink.emit(event)
 
     def emit_metrics(self) -> None:
-        """Emit a snapshot of the attached registry as a metrics event."""
+        """Emit a snapshot of the attached registry as a metrics event.
+
+        The event carries the registry's ``kinds`` map next to the
+        values so exporters can type each metric (Prometheus needs to
+        tell counters from gauges; the snapshot alone cannot).
+        """
         if self.registry is not None and self.enabled:
             self.emit({"type": "metrics", "ts": time.time(),
-                       "metrics": self.registry.snapshot()})
+                       "metrics": self.registry.snapshot(),
+                       "kinds": self.registry.kinds()})
 
     def close(self) -> None:
         """Close every sink that supports it."""

@@ -52,22 +52,28 @@ def chaos_config(spec: str | None = None, **overrides) -> PretiumConfig:
 
 
 def run_with_faults(scenario: Scenario, spec: str | None,
-                    trace_tag: str = "", **overrides):
+                    trace_tag: str = "", collector=None, **overrides):
     """One Pretium run under an isolated registry (and optional trace).
 
-    Returns ``(controller, result, metrics_snapshot)``.
+    ``collector`` (an :class:`InMemoryCollector`) adds an in-process
+    sink, so a test can replay the run's ledger through the invariant
+    auditor without touching the filesystem.  Returns ``(controller,
+    result, metrics_snapshot)``.
     """
     controller = PretiumController(chaos_config(spec, **overrides))
     with ExitStack() as stack:
         registry = stack.enter_context(use_registry(MetricsRegistry()))
         trace_dir = os.environ.get("CHAOS_TELEMETRY_DIR")
-        tracer = None
+        sinks = []
         if trace_dir:
             Path(trace_dir).mkdir(parents=True, exist_ok=True)
             slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", f"{trace_tag}_{spec}")
-            tracer = Tracer(
-                sinks=[TraceWriter(Path(trace_dir) / f"{slug}.jsonl")],
-                registry=registry)
+            sinks.append(TraceWriter(Path(trace_dir) / f"{slug}.jsonl"))
+        if collector is not None:
+            sinks.append(collector)
+        tracer = None
+        if sinks:
+            tracer = Tracer(sinks=sinks, registry=registry)
             stack.enter_context(use_tracer(tracer))
         try:
             result = simulate(controller, scenario.workload)

@@ -11,9 +11,27 @@ import numpy as np
 import pytest
 
 from repro.sim import summarize
+from repro.telemetry import InMemoryCollector, audit_events, unwaived
 
 from .conftest import (assert_accounting_invariants, assert_guarantees_met,
                        run_with_faults)
+
+
+def assert_books_balance(collector, result, scenario, expect_degraded):
+    """Replay the run's ledger through the invariant auditor.
+
+    Byte conservation must hold unconditionally; guarantee misses are
+    acceptable only when the ledger carries the DEGRADED events that
+    explain them (``expect_degraded``); nothing else may be flagged.
+    """
+    summary = summarize(result, scenario.cost_model)
+    findings = audit_events(collector.events, summary=summary)
+    conservation = [f for f in findings if f.check == "byte_conservation"]
+    assert not conservation, conservation
+    failures = unwaived(findings)
+    assert not failures, failures
+    if not expect_degraded:
+        assert findings == [], findings
 
 #: Representative injection step per module: RA during the first-day
 #: arrival wave, SAM mid-day, PC at the day-2 window boundary (t=8) —
@@ -36,8 +54,9 @@ def test_fault_at_every_module_degrades_gracefully(chaos_scenario, module,
                                                    kind):
     step = FAULT_STEPS[module]
     spec = f"{module}:{kind}@{step}"
+    collector = InMemoryCollector()
     controller, result, snapshot = run_with_faults(
-        chaos_scenario, spec, trace_tag="grid")
+        chaos_scenario, spec, trace_tag="grid", collector=collector)
 
     # The run completed and still did real work.
     assert result.loads.shape[0] == chaos_scenario.workload.n_steps
@@ -47,6 +66,11 @@ def test_fault_at_every_module_degrades_gracefully(chaos_scenario, module,
     # Guarantees sold before the fault step are all honoured.
     assert_guarantees_met(controller, result, admitted_before=step)
     assert_accounting_invariants(controller, result, chaos_scenario)
+
+    # The replayed ledger balances: bytes conserved, and any guarantee
+    # miss is explained by the DEGRADED events this fault produced.
+    assert_books_balance(collector, result, chaos_scenario,
+                         expect_degraded=True)
 
     # The injector hit, and the module left its degradation trail.
     assert snapshot[f"faults.injected.{module}"] > 0
@@ -77,12 +101,27 @@ def test_sam_fault_guarantees_hold_for_all_contracts(chaos_scenario):
     assert_guarantees_met(controller, result)
 
 
+def test_clean_run_ledger_audits_with_zero_findings(chaos_scenario):
+    # Without faults the auditor must find nothing at all — no waivers,
+    # no tolerated misses: the books simply balance.
+    collector = InMemoryCollector()
+    _, result, _ = run_with_faults(chaos_scenario, None,
+                                   trace_tag="clean_audit",
+                                   collector=collector)
+    assert_books_balance(collector, result, chaos_scenario,
+                         expect_degraded=False)
+
+
 def test_faults_in_all_modules_at_once(chaos_scenario):
     spec = "ra:solver@2,sam:solver@4,pc:timeout@8"
+    collector = InMemoryCollector()
     controller, result, snapshot = run_with_faults(chaos_scenario, spec,
-                                                   trace_tag="all")
+                                                   trace_tag="all",
+                                                   collector=collector)
     assert_guarantees_met(controller, result, admitted_before=2)
     assert_accounting_invariants(controller, result, chaos_scenario)
+    assert_books_balance(collector, result, chaos_scenario,
+                         expect_degraded=True)
     for module in ("ra", "sam", "pc"):
         assert snapshot[f"faults.injected.{module}"] > 0
         assert snapshot[f"resilience.fallbacks.{module}"] > 0

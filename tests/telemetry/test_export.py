@@ -1,0 +1,205 @@
+"""Tests for the Chrome-trace / Prometheus / timeline exporters."""
+
+import json
+import re
+
+import pytest
+
+from repro.telemetry import (InMemoryCollector, MetricsRegistry, Tracer,
+                             chrome_trace, chrome_trace_json,
+                             prometheus_text, timeline, use_tracer)
+from repro.telemetry.export import prometheus_name
+
+
+def ev(event, **fields):
+    return {"type": "ledger", "event": event, "ts": 100.0, **fields}
+
+
+def span(name, ts=100.0, duration=0.25, **attrs):
+    return {"type": "span", "name": name, "span_id": 1, "parent_id": None,
+            "ts": ts, "duration": duration, "attrs": attrs}
+
+
+# -- chrome trace ------------------------------------------------------------
+def test_chrome_trace_structure():
+    events = [
+        span("lp.solve", ts=10.0, duration=0.5, n_vars=12),
+        ev("ADMITTED", rid=0, step=0, chosen=1.0, guaranteed=1.0,
+           marginal_price=0.5, flat_price=None),
+        {"type": "engine_failure", "ts": 11.0, "step": 3,
+         "error": "LPError"},
+        {"type": "metrics", "metrics": {}},  # no ts: skipped
+    ]
+    doc = chrome_trace(events)
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    out = doc["traceEvents"]
+    # 2 metadata records + 3 real events.
+    assert [e["ph"] for e in out] == ["M", "M", "X", "i", "i"]
+    for entry in out:
+        assert {"ph", "pid", "tid", "name"} <= set(entry)
+
+    complete = out[2]
+    assert complete["name"] == "lp.solve"
+    assert complete["cat"] == "lp"
+    assert complete["ts"] == pytest.approx(10.0 * 1e6)
+    assert complete["dur"] == pytest.approx(0.5 * 1e6)
+    assert complete["args"]["n_vars"] == 12
+
+    instant = out[3]
+    assert instant["name"] == "ledger.ADMITTED"
+    assert instant["s"] == "g"
+    assert instant["args"]["rid"] == 0
+
+    failure = out[4]
+    assert failure["name"] == "engine_failure"
+    assert failure["cat"] == "failure"
+
+
+def test_chrome_trace_excludes_capacity_grid():
+    doc = chrome_trace([ev("RUN_STARTED", scheme="Pretium",
+                           capacity=[[1.0]] * 100)])
+    (_, _, instant) = doc["traceEvents"]
+    assert "capacity" not in instant["args"]
+    assert instant["args"]["scheme"] == "Pretium"
+
+
+def test_chrome_trace_json_parses_back():
+    events = [span("ra"), ev("ARRIVED", rid=0, step=0)]
+    doc = json.loads(chrome_trace_json(events))
+    assert len(doc["traceEvents"]) == 4
+
+
+# -- prometheus --------------------------------------------------------------
+def test_prometheus_name_sanitisation():
+    assert prometheus_name("faults.injected.ra") == "faults_injected_ra"
+    assert prometheus_name("9lives") == "_9lives"
+    assert prometheus_name("ok_name") == "ok_name"
+
+
+#: One metric line: name{labels} value  (the exposition grammar subset
+#: the exporter emits).
+PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+=\"[^\"]*\"\})? "
+    r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN)$")
+
+
+def metrics_event():
+    return {"type": "metrics",
+            "metrics": {"pretium.admitted": 5, "load": 0.75,
+                        "ra": {"count": 3, "sum": 0.6, "p50": 0.2,
+                               "p95": 0.3, "p99": 0.3}},
+            "kinds": {"pretium.admitted": "counter", "load": "gauge",
+                      "ra": "histogram"}}
+
+
+def test_prometheus_text_lines_are_valid():
+    text = prometheus_text([metrics_event()])
+    assert text.endswith("\n")
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            assert re.match(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
+                            r"(counter|gauge|summary)$", line), line
+        else:
+            assert PROM_LINE.match(line), line
+
+
+def test_prometheus_text_typed_output():
+    text = prometheus_text([metrics_event()])
+    assert "# TYPE pretium_admitted counter" in text
+    assert "pretium_admitted 5" in text
+    assert "# TYPE load gauge" in text
+    assert "# TYPE ra summary" in text
+    assert 'ra{quantile="0.95"} 0.3' in text
+    assert "ra_sum 0.6" in text
+    assert "ra_count 3" in text
+
+
+def test_prometheus_text_defaults_untyped_to_gauge():
+    text = prometheus_text([{"type": "metrics", "metrics": {"x": 1.0}}])
+    assert "# TYPE x gauge" in text
+
+
+def test_prometheus_text_without_metrics_event():
+    assert prometheus_text([span("ra")]) is None
+
+
+def test_prometheus_uses_last_snapshot():
+    first = {"type": "metrics", "metrics": {"x": 1}}
+    last = {"type": "metrics", "metrics": {"x": 7}}
+    assert "x 7" in prometheus_text([first, last])
+
+
+def test_prometheus_matches_live_registry():
+    registry = MetricsRegistry()
+    registry.counter("pretium.admitted").inc(2)
+    registry.gauge("resilience.pc.staleness").set(1.0)
+    registry.histogram("ra").observe(0.5)
+    collector = InMemoryCollector()
+    tracer = Tracer(sinks=[collector], registry=registry)
+    tracer.emit_metrics()
+    text = prometheus_text(collector.events)
+    assert "# TYPE pretium_admitted counter" in text
+    assert "# TYPE resilience_pc_staleness gauge" in text
+    assert "# TYPE ra summary" in text
+
+
+# -- timeline ----------------------------------------------------------------
+def lifecycle():
+    return [
+        ev("ARRIVED", rid=3, step=0, src="a", dst="b", demand=4.0,
+           value=1.0, start=0, deadline=2, scavenger=False),
+        ev("QUOTED", rid=3, step=0, degraded=False,
+           breakpoints=[[4.0, 0.5]], max_guaranteed=4.0,
+           best_effort_price=0.5),
+        ev("ADMITTED", rid=3, step=0, chosen=4.0, guaranteed=4.0,
+           marginal_price=0.5, flat_price=None),
+        ev("ALLOCATED", rid=3, step=1, bytes=3.0, route=[0, 2], price=0.5),
+        ev("DEGRADED", rid=3, step=2, module="ra",
+           action="quote_from_prices", error="LPError"),
+        ev("ALLOCATED", rid=3, step=2, bytes=1.0, route=[0], price=0.7),
+        ev("SETTLED", rid=3, delivered=4.0, payment=2.0, chosen=4.0,
+           guaranteed=4.0, flat_price=None),
+    ]
+
+
+def test_timeline_renders_full_history():
+    text = timeline(lifecycle(), 3)
+    lines = text.splitlines()
+    assert lines[0] == "request 3 — status COMPLETED"
+    stages = [line.split()[2] for line in lines[1:]]
+    assert sorted(stages) == sorted(
+        ["ARRIVED", "QUOTED", "ADMITTED", "ALLOCATED", "DEGRADED",
+         "ALLOCATED", "SETTLED"])
+    assert stages[:3] == ["ARRIVED", "QUOTED", "ADMITTED"]
+    assert stages[-1] == "SETTLED"
+    assert "a -> b" in text
+    assert "via links (0,2)" in text
+    assert "cumulative 4" in text
+    assert "quote_from_prices" in text
+    assert "paid 2" in text
+
+
+def test_timeline_handles_rejection_and_none_price():
+    events = [
+        ev("ARRIVED", rid=1, step=0, src="a", dst="b", demand=1.0,
+           value=0.1, start=0, deadline=2, scavenger=False),
+        ev("QUOTED", rid=1, step=0, degraded=True, breakpoints=[],
+           max_guaranteed=0.0, best_effort_price=None),
+        ev("REJECTED", rid=1, step=0),
+    ]
+    text = timeline(events, 1)
+    assert "status REJECTED" in text
+    assert "[degraded]" in text
+    assert "REJECTED" in text
+
+    scav = [ev("ADMITTED", rid=2, step=0, chosen=1.0, guaranteed=0.0,
+               marginal_price=None, flat_price=0.25)]
+    assert "flat price 0.25/unit" in timeline(scav, 2)
+    bare = [ev("ADMITTED", rid=4, step=0, chosen=1.0, guaranteed=1.0,
+               marginal_price=None, flat_price=None)]
+    assert "marginal price n/a" in timeline(bare, 4)
+
+
+def test_timeline_unknown_rid_raises():
+    with pytest.raises(KeyError):
+        timeline(lifecycle(), 99)

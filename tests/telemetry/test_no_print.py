@@ -1,0 +1,32 @@
+"""Library hygiene: no bare print() outside the CLI.
+
+All user-facing output must flow through the CLI (or the telemetry
+sinks); a print() buried in src/repro would bypass both.  CI enforces
+this with ruff's T20 rule (see pyproject.toml); this test is the same
+gate for environments without ruff.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Call sites of the print builtin (not .print methods or comments).
+PRINT_CALL = re.compile(r"(?<![.\w])print\(")
+
+#: The designated print surface.
+ALLOWED = {"cli.py"}
+
+
+def test_no_bare_print_in_library():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name in ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            stripped = line.split("#", 1)[0]
+            if PRINT_CALL.search(stripped):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}")
+    assert not offenders, (
+        "bare print() calls in src/repro (route output through the CLI "
+        f"or telemetry sinks): {offenders}")

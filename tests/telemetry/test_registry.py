@@ -102,3 +102,30 @@ def test_process_registry_swap_and_restore():
     finally:
         set_registry(previous)
     assert get_registry() is previous
+
+
+def test_registry_kinds_map():
+    registry = MetricsRegistry()
+    registry.counter("admitted")
+    registry.gauge("load")
+    registry.histogram("ra")
+    assert registry.kinds() == {"admitted": "counter", "load": "gauge",
+                                "ra": "histogram"}
+
+
+def test_use_registry_restores_on_raise():
+    from repro.telemetry import use_registry
+
+    baseline = get_registry()
+    with pytest.raises(RuntimeError):
+        with use_registry() as outer:
+            assert get_registry() is outer
+            with pytest.raises(ValueError):
+                with use_registry() as inner:
+                    assert get_registry() is inner
+                    raise ValueError("inner block dies")
+            # The inner context must restore the outer registry even
+            # though its block raised.
+            assert get_registry() is outer
+            raise RuntimeError("outer block dies")
+    assert get_registry() is baseline

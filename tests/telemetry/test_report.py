@@ -60,3 +60,51 @@ def test_report_trace_empty(tmp_path):
     path = tmp_path / "empty.jsonl"
     path.write_text("")
     assert "no span events" in report_trace(path)
+
+
+def test_aggregate_spans_skips_missing_durations():
+    """A crashed run's trace can carry span events whose end (and thus
+    duration) was never written; aggregation reports what it has."""
+    events = [span("ra", 0.1), span("ra", 0.3)]
+    headless = span("sam", 0.0)
+    del headless["duration"]
+    torn = span("pc", None)
+    events += [headless, torn]
+    stats = aggregate_spans(events)
+    assert stats["ra"]["count"] == 2
+    assert "sam" not in stats
+    assert "pc" not in stats
+
+
+def test_metrics_table_gauges_only():
+    from repro.telemetry.report import metrics_table
+    events = [{"type": "metrics",
+               "metrics": {"resilience.pc.staleness": 2.0, "load": 0.5},
+               "kinds": {"resilience.pc.staleness": "gauge",
+                         "load": "gauge"}}]
+    table = metrics_table(events)
+    lines = table.splitlines()
+    assert lines[0].split() == ["metric", "value"]
+    assert any("resilience.pc.staleness" in line and "2" in line
+               for line in lines)
+
+
+def test_metrics_table_absent_without_metrics_event():
+    from repro.telemetry.report import metrics_table
+    assert metrics_table([span("ra", 0.1)]) is None
+
+
+def test_report_handles_deep_nesting():
+    """Spans nested deeper than two levels aggregate by name as usual."""
+    events = []
+    parent = None
+    for depth, name in enumerate(["run", "sam", "lp.solve", "lp.solve"]):
+        events.append({"type": "span", "name": name, "span_id": depth + 1,
+                       "parent_id": parent, "ts": 0.0,
+                       "duration": 0.1 * (depth + 1), "attrs": {}})
+        parent = depth + 1
+    stats = aggregate_spans(events)
+    assert stats["lp.solve"]["count"] == 2
+    assert stats["lp.solve"]["total"] == pytest.approx(0.7)
+    table = runtime_table(events)
+    assert "run" in table and "lp.solve" in table

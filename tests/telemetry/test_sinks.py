@@ -65,3 +65,35 @@ def test_read_trace_skips_blank_lines(tmp_path):
     path.write_text('{"type":"span","name":"ra"}\n\n{"type":"metrics"}\n')
     events = read_trace(path)
     assert [e["type"] for e in events] == ["span", "metrics"]
+
+
+def test_read_trace_skips_corrupt_middle_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"type":"span","name":"ra"}\n'
+                    'garbage not json\n'
+                    '{"type":"metrics"}\n')
+    with pytest.warns(UserWarning, match="corrupt trace line 2"):
+        events = read_trace(path)
+    assert [e["type"] for e in events] == ["span", "metrics"]
+
+
+def test_read_trace_recovers_torn_final_line(tmp_path):
+    """A run killed mid-write leaves a torn last line; every intact
+    event before it must still be readable (chaos CI relies on this)."""
+    path = tmp_path / "trace.jsonl"
+    intact = '{"type":"span","name":"ra","duration":0.1}\n'
+    torn = '{"type":"ledger","event":"ALLOCATED","rid":7,"byt'
+    path.write_text(intact * 3 + torn)
+    with pytest.warns(UserWarning, match="corrupt trace line 4"):
+        events = read_trace(path)
+    assert len(events) == 3
+    assert all(e["name"] == "ra" for e in events)
+
+
+def test_read_trace_strict_mode_raises(tmp_path):
+    import json
+
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"ok":1}\nnot json\n')
+    with pytest.raises(json.JSONDecodeError):
+        read_trace(path, strict=True)

@@ -83,7 +83,8 @@ def test_telemetry_report_missing_or_malformed_trace(tmp_path, capsys):
     assert "no such trace file" in capsys.readouterr().err
     bad = tmp_path / "bad.jsonl"
     bad.write_text("not json\n")
-    assert main(["telemetry", "report", str(bad)]) == 1
+    with pytest.warns(UserWarning, match="corrupt trace line"):
+        assert main(["telemetry", "report", str(bad)]) == 1
     assert "not a JSONL trace" in capsys.readouterr().err
 
 
@@ -132,3 +133,117 @@ def test_parser_rejects_unknown_scheme():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One small telemetry run shared by the telemetry-subcommand tests."""
+    tmp_path = tmp_path_factory.mktemp("traced")
+    wl_path = tmp_path / "wl.json"
+    trace_path = tmp_path / "trace.jsonl"
+    summary_path = tmp_path / "summary.json"
+    assert main(["generate-workload", "--out", str(wl_path), "--nodes",
+                 "8", "--days", "1", "--steps-per-day", "6",
+                 "--seed", "1"]) == 0
+    assert main(["run", "--scheme", "Pretium", "--workload", str(wl_path),
+                 "--telemetry", str(trace_path),
+                 "--out", str(summary_path)]) == 0
+    return trace_path, summary_path
+
+
+def test_telemetry_audit_clean_run(traced_run, capsys):
+    trace_path, summary_path = traced_run
+    capsys.readouterr()
+    code = main(["telemetry", "audit", str(trace_path),
+                 "--summary", str(summary_path)])
+    assert code == 0
+    assert "audit clean" in capsys.readouterr().out
+
+
+def test_telemetry_audit_flags_tampered_trace(tmp_path, traced_run,
+                                              capsys):
+    trace_path, _ = traced_run
+    tampered = tmp_path / "tampered.jsonl"
+    lines = trace_path.read_text().splitlines()
+    out_lines = []
+    bumped = False
+    for line in lines:
+        event = json.loads(line)
+        if (not bumped and event.get("type") == "ledger"
+                and event.get("event") == "SETTLED"
+                and event.get("payment", 0) > 0):
+            event["payment"] = event["payment"] + 100.0
+            bumped = True
+        out_lines.append(json.dumps(event))
+    assert bumped, "expected a paying SETTLED event in the trace"
+    tampered.write_text("\n".join(out_lines) + "\n")
+    capsys.readouterr()
+    assert main(["telemetry", "audit", str(tampered)]) == 1
+    out = capsys.readouterr().out
+    assert "settlement" in out
+    assert "unwaived" in out
+
+
+def test_telemetry_export_chrome_trace(traced_run, tmp_path, capsys):
+    trace_path, _ = traced_run
+    out_path = tmp_path / "chrome.json"
+    assert main(["telemetry", "export", str(trace_path), "--format",
+                 "chrome-trace", "--out", str(out_path)]) == 0
+    capsys.readouterr()
+    doc = json.loads(out_path.read_text())
+    events = doc["traceEvents"]
+    assert events, "chrome trace should not be empty"
+    assert {e["ph"] for e in events} <= {"M", "X", "i"}
+    for event in events:
+        assert {"ph", "pid", "tid", "name"} <= set(event)
+    assert any(e["name"].startswith("ledger.") for e in events)
+    assert any(e["ph"] == "X" for e in events)
+
+
+def test_telemetry_export_prom(traced_run, capsys):
+    trace_path, _ = traced_run
+    assert main(["telemetry", "export", str(trace_path), "--format",
+                 "prom"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE pretium_admitted counter" in out
+    import re
+    line_ok = re.compile(
+        r"^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)"
+        r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+=\"[^\"]*\"\})? "
+        r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN))$")
+    for line in out.strip().splitlines():
+        assert line_ok.match(line), line
+
+
+def test_telemetry_timeline(traced_run, capsys):
+    trace_path, _ = traced_run
+    from repro.telemetry import Ledger
+    ledger = Ledger.from_trace(trace_path)
+    rid = next(h.rid for h in ledger.requests()
+               if h.status == "COMPLETED")
+    capsys.readouterr()
+    assert main(["telemetry", "timeline", str(trace_path),
+                 str(rid)]) == 0
+    out = capsys.readouterr().out
+    assert f"request {rid}" in out
+    assert "ARRIVED" in out and "SETTLED" in out
+
+    assert main(["telemetry", "timeline", str(trace_path), "999999"]) == 1
+    assert "no ledger events" in capsys.readouterr().err
+
+
+def test_telemetry_subcommands_reject_bad_trace(tmp_path, capsys):
+    missing = str(tmp_path / "nope.jsonl")
+    garbage = tmp_path / "bad.jsonl"
+    garbage.write_text("not json at all\n")
+    for sub in (["audit"], ["export", "--format", "prom"],
+                ["timeline"]):
+        args = ["telemetry", sub[0], missing] + sub[1:]
+        if sub[0] == "timeline":
+            args.append("0")
+        assert main(args) == 1, sub
+        assert "no such trace file" in capsys.readouterr().err
+        args[2] = str(garbage)
+        with pytest.warns(UserWarning, match="corrupt trace line"):
+            assert main(args) == 1, sub
+        assert "not a JSONL trace" in capsys.readouterr().err
