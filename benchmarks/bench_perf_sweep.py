@@ -1,0 +1,78 @@
+"""Perf benchmark: process-parallel sweep vs the serial reference path.
+
+Runs the same scheme x seed grid twice through
+:func:`repro.experiments.sweep.run_sweep` — serially (``workers=1``, the
+reference path) and across 4 spawned worker processes — and asserts the
+two sweeps are bit-identical cell by cell (summaries, per-request
+delivered/payments/chosen, the realised load grids; measured module
+runtimes are excluded, wall-clock is not deterministic).  The recorded
+JSON (``benchmarks/results/bench_perf_sweep.json``) reports both wall
+times, the speedup and the machine's CPU count — on a single-core
+runner the spawn overhead makes the parallel path *slower*, which is
+exactly what the roll-up should say.
+
+Timings are recorded, never gated (CI fails on crash, not slowness).
+Scale with ``BENCH_PERF_SCALE=small|medium`` (CI uses ``small``).
+"""
+
+import os
+
+import numpy as np
+
+from repro.experiments.runner import SCHEME_SPECS
+from repro.experiments.sweep import SweepGrid, run_sweep
+from repro.options import RunOptions
+
+SCALES = {
+    "small": dict(schemes=("Pretium", "NoPrices", "OPT", "VCGLike"),
+                  seeds=(0, 1)),
+    "medium": dict(schemes=tuple(sorted(SCHEME_SPECS)), seeds=(0, 1)),
+}
+
+WORKERS = 4
+
+
+def run_grid(workers, schemes, seeds):
+    grid = SweepGrid(schemes=schemes, scenarios=("tiny",), seeds=seeds)
+    return run_sweep(grid, options=RunOptions(workers=workers))
+
+
+def _comparable(summary):
+    """A cell summary minus the measured (non-deterministic) runtimes."""
+    return {k: v for k, v in summary.items() if k != "runtimes"}
+
+
+def bench_perf_sweep(benchmark, record):
+    scale_name = os.environ.get("BENCH_PERF_SCALE", "medium")
+    scale = SCALES[scale_name]
+
+    parallel = benchmark.pedantic(
+        run_grid, args=(WORKERS,), kwargs=scale, rounds=1, iterations=1)
+    serial = run_grid(1, **scale)
+
+    assert serial.ok, [c.detail for c in serial.failures]
+    assert parallel.ok, [c.detail for c in parallel.failures]
+    for ref, par in zip(serial.cells, parallel.cells):
+        assert ref.label == par.label
+        assert _comparable(ref.summary) == _comparable(par.summary), ref.label
+        assert ref.delivered == par.delivered, ref.label
+        assert ref.payments == par.payments, ref.label
+        assert ref.chosen == par.chosen, ref.label
+        assert np.array_equal(ref.loads, par.loads), ref.label
+
+    result = {
+        "scale": scale_name,
+        "n_cells": len(serial.cells),
+        "schemes": list(scale["schemes"]),
+        "seeds": list(scale["seeds"]),
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_s": serial.wall_s,
+        "parallel_s": parallel.wall_s,
+        "speedup": serial.wall_s / parallel.wall_s,
+    }
+    record(result)
+    print(f"\nsweep ({scale_name}, {result['n_cells']} cells, "
+          f"{os.cpu_count()} cpu): serial {serial.wall_s:.2f} s, "
+          f"{WORKERS} workers {parallel.wall_s:.2f} s "
+          f"-> {result['speedup']:.2f}x, bit-identical")

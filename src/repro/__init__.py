@@ -18,6 +18,17 @@ engineering for inter-datacenter transfers.  The top-level subpackages are:
   figure/table in the paper's evaluation.
 - :mod:`repro.telemetry` -- structured tracing, metrics and solver
   instrumentation (spans, counters, streaming histograms, JSONL traces).
+- :mod:`repro.api` -- the stable high-level facade: :func:`repro.run`,
+  :func:`repro.sweep` and :func:`repro.audit` with typed results, plus
+  :class:`repro.RunOptions` for every run-level knob.
 """
+
+from .api import (AuditReport, RunOptions, RunReport, ScenarioSpec,
+                  SchemeSpec, SweepGrid, SweepResult, audit, run, sweep)
+
+__all__ = [
+    "AuditReport", "RunOptions", "RunReport", "ScenarioSpec", "SchemeSpec",
+    "SweepGrid", "SweepResult", "api", "audit", "run", "sweep",
+]
 
 __version__ = "1.0.0"

@@ -1,0 +1,156 @@
+"""The stable high-level facade: ``run``, ``sweep``, ``audit``.
+
+Everything an evaluation needs, behind three calls::
+
+    import repro
+
+    report = repro.run("Pretium", "quick",
+                       options=repro.RunOptions(telemetry="run.jsonl"))
+    welfare = report.summary["welfare"]
+
+    result = repro.sweep({"schemes": ["Pretium", "NoPrices"],
+                          "scenarios": ["tiny"], "seeds": [0, 1]},
+                         options=repro.RunOptions(workers=4))
+
+    assert repro.audit("run.jsonl").ok
+
+The CLI subcommands are thin wrappers over these functions, and the
+lower layers (:mod:`repro.experiments.runner`,
+:mod:`repro.experiments.sweep`, :mod:`repro.telemetry`) remain public
+for callers that need the full surface.  This module only *composes*
+them — it adds no behaviour of its own, so the facade stays stable as
+the layers underneath evolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from .experiments.runner import SchemeSpec, run_scheme
+from .experiments.scenarios import (SCENARIO_BUILDERS, Scenario,
+                                    ScenarioSpec)
+from .experiments.sweep import (CellResult, SweepCell, SweepGrid,
+                                SweepResult, run_sweep)
+from .options import RunOptions
+from .sim import RunResult, summarize
+from .telemetry import Finding, audit_events, read_trace, unwaived
+
+__all__ = [
+    "AuditReport", "CellResult", "RunOptions", "RunReport", "Scenario",
+    "ScenarioSpec", "SchemeSpec", "SweepCell", "SweepGrid", "SweepResult",
+    "audit", "run", "sweep",
+]
+
+
+@dataclass
+class RunReport:
+    """Typed result of :func:`run`: the raw run plus its summary."""
+
+    result: RunResult
+    summary: dict
+    options: RunOptions
+    trace_path: str | None = None
+
+    @property
+    def scheme(self) -> str:
+        return self.result.scheme_name
+
+
+@dataclass
+class AuditReport:
+    """Typed result of :func:`audit`."""
+
+    findings: list[Finding]
+    n_events: int
+
+    @property
+    def unwaived(self) -> list[Finding]:
+        """Findings that are actual failures (not degradation-waived)."""
+        return unwaived(self.findings)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant holds (waived findings allowed)."""
+        return not self.unwaived
+
+
+def _as_scenario(scenario) -> Scenario:
+    """Accept a built Scenario, a ScenarioSpec, or a builder name."""
+    if isinstance(scenario, Scenario):
+        return scenario
+    if isinstance(scenario, ScenarioSpec):
+        return scenario.build()
+    if isinstance(scenario, str):
+        if scenario not in SCENARIO_BUILDERS:
+            raise ValueError(f"unknown scenario {scenario!r}; expected "
+                             f"one of {sorted(SCENARIO_BUILDERS)}")
+        return ScenarioSpec.of(scenario).build()
+    raise TypeError(f"cannot interpret {type(scenario).__name__} as a "
+                    "scenario (expected Scenario, ScenarioSpec or name)")
+
+
+def _as_grid(grid) -> SweepGrid:
+    """Accept a SweepGrid or a ``{"schemes": ..., ...}`` mapping."""
+    if isinstance(grid, SweepGrid):
+        return grid
+    if isinstance(grid, Mapping):
+        unknown = set(grid) - {"schemes", "scenarios", "seeds"}
+        if unknown:
+            raise TypeError(f"unknown grid key(s) "
+                            f"{', '.join(map(repr, sorted(unknown)))}; "
+                            "expected schemes/scenarios/seeds")
+        return SweepGrid(**grid)
+    raise TypeError(f"cannot interpret {type(grid).__name__} as a sweep "
+                    "grid (expected SweepGrid or a mapping with "
+                    "schemes/scenarios/seeds)")
+
+
+def run(scheme, scenario, *, options: RunOptions | None = None) -> RunReport:
+    """Run one scheme over one scenario and summarise it.
+
+    ``scheme`` is an evaluation name, a :class:`SchemeSpec`, or a
+    pre-built scheme instance; ``scenario`` is a built
+    :class:`Scenario`, a :class:`ScenarioSpec`, or a builder name
+    (``"standard"``, ``"quick"``, ``"tiny"``, ``"production"``).
+    ``options`` carries every run-level knob — see
+    :class:`~repro.options.RunOptions`.
+    """
+    options = options or RunOptions()
+    scenario = _as_scenario(scenario)
+    result = run_scheme(scheme, scenario, options=options)
+    telemetry = options.telemetry
+    return RunReport(result=result,
+                     summary=summarize(result, scenario.cost_model),
+                     options=options,
+                     trace_path=None if telemetry is None else str(telemetry))
+
+
+def sweep(grid, *, options: RunOptions | None = None,
+          progress=None) -> SweepResult:
+    """Run a scheme × scenario × seed grid, optionally process-parallel.
+
+    ``grid`` is a :class:`SweepGrid` or a mapping with ``schemes`` /
+    ``scenarios`` / ``seeds`` entries.  ``options.workers`` selects the
+    parallelism; ``options.telemetry`` collects every cell's trace into
+    one merged, audit-ready JSONL file.  See
+    :func:`repro.experiments.sweep.run_sweep`.
+    """
+    return run_sweep(_as_grid(grid), options=options, progress=progress)
+
+
+def audit(trace, *, summary: dict | None = None) -> AuditReport:
+    """Replay a trace's request ledger and check the economic invariants.
+
+    ``trace`` is a JSONL trace path or an already-loaded list of event
+    dicts — including a merged sweep trace, which is partitioned by cell
+    and audited per run.  ``summary`` optionally reconciles a
+    single-run trace against its ``summarize()`` record.
+    """
+    if isinstance(trace, (str, Path)):
+        events = read_trace(trace)
+    else:
+        events = list(trace)
+    return AuditReport(findings=audit_events(events, summary=summary),
+                       n_events=len(events))

@@ -8,6 +8,10 @@ Commands
 ``run``
     Run one evaluation scheme over a workload artifact (or the standard
     scenario) and print/save the summary metrics.
+``sweep``
+    Run a scheme × scenario × seed grid, optionally across worker
+    processes (``--workers``), with per-cell results, an optional merged
+    audit-ready telemetry trace, and a live progress line.
 ``figure``
     Regenerate one of the paper's figures/tables and print its rows.
 ``list-schemes``
@@ -32,24 +36,25 @@ Commands
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import os
 import sys
 
-from contextlib import ExitStack
-
+from . import api
 from .costs import LinkCostModel
 from .experiments import (SCHEME_FACTORIES, format_series, format_table,
-                          run_scheme, standard_scenario)
+                          standard_scenario)
 from .experiments import figures as figures_module
-from .experiments.scenarios import Scenario
-from .faults import FaultInjector, FaultSpecError, use_injector
+from .experiments.scenarios import (SCENARIO_BUILDERS, Scenario,
+                                    ScenarioSpec)
+from .experiments.sweep import SweepGrid
+from .faults import FaultSpecError
 from .network import wan_topology
-from .sim import save_summary, summarize
-from .telemetry import (TraceWriter, Tracer, audit_events,
-                        chrome_trace_json, prometheus_text, read_trace,
-                        report_trace, timeline, unwaived, use_registry,
-                        use_tracer)
+from .options import RunOptions
+from .sim import save_summary
+from .telemetry import (audit_events, chrome_trace_json, prometheus_text,
+                        read_trace, report_trace, timeline, unwaived)
 from .traffic import NormalValues, build_workload, load_workload, \
     save_workload
 
@@ -109,11 +114,45 @@ def build_parser() -> argparse.ArgumentParser:
                           "step, STEP-STEP range, * or pPROB)")
     run.add_argument("--fault-seed", type=int, default=0,
                      help="seed for probabilistic fault rules")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes recorded in RunOptions (a "
+                          "single run executes in-process; see 'sweep' "
+                          "for parallel grids)")
+    _add_knob_flags(run)
+
+    swp = sub.add_parser("sweep", help="run a scheme x scenario x seed "
+                                       "grid, optionally in parallel")
+    swp.add_argument("--schemes", default=",".join(sorted(SCHEME_FACTORIES)),
+                     help="comma-separated scheme names (default: all)")
+    swp.add_argument("--scenario", default="standard",
+                     choices=sorted(SCENARIO_BUILDERS),
+                     help="scenario builder for every cell")
+    swp.add_argument("--loads", metavar="L1,L2,...",
+                     help="comma-separated load factors; each becomes its "
+                          "own scenario column in the grid (default: the "
+                          "builder's default load)")
+    swp.add_argument("--seeds", default="0", metavar="S1,S2,...",
+                     help="comma-separated scenario seeds")
+    swp.add_argument("--workers", type=int, default=1,
+                     help="worker processes (1 = serial reference path)")
+    swp.add_argument("--telemetry", metavar="PATH",
+                     help="write one merged, audit-ready JSONL trace of "
+                          "every cell to PATH")
+    swp.add_argument("--faults", metavar="SPEC",
+                     help="fault-injection spec applied in every cell "
+                          "(same syntax as run --faults)")
+    swp.add_argument("--fault-seed", type=int, default=0)
+    swp.add_argument("--out", help="write per-cell summary records "
+                                   "(JSON) here")
+    _add_knob_flags(swp)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig.add_argument("id", choices=sorted(FIGURES),
                      help="figure number or 'table4'")
     fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--workers", type=int, default=1,
+                     help="worker processes for figures built on a "
+                          "sweep grid (6, 8, 9, 11)")
 
     sub.add_parser("list-schemes", help="list evaluation scheme names")
     sub.add_parser("list-figures", help="list figure/table ids")
@@ -129,7 +168,8 @@ def build_parser() -> argparse.ArgumentParser:
     aud.add_argument("trace", help="trace file from run --telemetry")
     aud.add_argument("--summary", metavar="PATH",
                      help="summary JSON (from run --out) to reconcile "
-                          "revenue/welfare against")
+                          "revenue/welfare against (single-run traces "
+                          "only)")
 
     exp = tel_sub.add_parser("export", help="convert a trace to an "
                                             "external tool format")
@@ -144,7 +184,41 @@ def build_parser() -> argparse.ArgumentParser:
                                               "economic history")
     tml.add_argument("trace", help="trace file from run --telemetry")
     tml.add_argument("rid", type=int, help="request id")
+    tml.add_argument("--cell", type=int, metavar="INDEX",
+                     help="restrict to one sweep cell of a merged trace "
+                          "(request ids repeat across cells)")
     return parser
+
+
+def _add_knob_flags(parser: argparse.ArgumentParser) -> None:
+    """The consolidated RunOptions knobs shared by ``run`` and ``sweep``."""
+    parser.add_argument("--lp-builder", choices=["coo", "expr"],
+                        help="LP construction path (default: coo)")
+    parser.add_argument("--quote-path", choices=["heap", "scan"],
+                        help="RA quote implementation (default: heap)")
+    parser.add_argument("--solver-retries", type=int, metavar="N",
+                        help="extra solve attempts after a transient "
+                             "solver failure (default: 2)")
+
+
+def _options_from_args(args) -> RunOptions:
+    """Build the run's :class:`RunOptions` from parsed CLI flags."""
+    return RunOptions(
+        lp_builder=args.lp_builder, quote_path=args.quote_path,
+        solver_retries=args.solver_retries, faults=args.faults,
+        fault_seed=args.fault_seed, telemetry=args.telemetry,
+        workers=args.workers)
+
+
+def _parse_csv(raw: str, kind, what: str) -> list:
+    try:
+        values = [kind(item.strip()) for item in raw.split(",")
+                  if item.strip()]
+    except ValueError:
+        raise ValueError(f"invalid {what} list: {raw!r}") from None
+    if not values:
+        raise ValueError(f"empty {what} list: {raw!r}")
+    return values
 
 
 def _cmd_generate(args) -> int:
@@ -168,37 +242,18 @@ def _cmd_run(args) -> int:
         scenario = Scenario(workload.topology, workload, cost_model)
     else:
         scenario = standard_scenario(load_factor=args.load, seed=args.seed)
-    injector = None
+    try:
+        options = _options_from_args(args)
+    except FaultSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = api.run(args.scheme, scenario, options=options)
+    if args.telemetry:
+        print(f"telemetry trace written to {args.telemetry}")
     if args.faults:
-        try:
-            injector = FaultInjector.from_spec(args.faults,
-                                               seed=args.fault_seed)
-        except FaultSpecError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-    with ExitStack() as stack:
-        if injector is not None:
-            stack.enter_context(use_injector(injector))
-        if args.telemetry:
-            # One registry serves both the tracer's span histograms and
-            # (installed process-wide) the modules' fault/resilience
-            # counters, so the final metrics event carries everything.
-            registry = stack.enter_context(use_registry())
-            tracer = Tracer(sinks=[TraceWriter(args.telemetry)],
-                            registry=registry)
-            try:
-                with use_tracer(tracer):
-                    result = run_scheme(args.scheme, scenario)
-                tracer.emit_metrics()
-            finally:
-                tracer.close()
-            print(f"telemetry trace written to {args.telemetry}")
-        else:
-            result = run_scheme(args.scheme, scenario)
-    if injector is not None:
-        print(f"faults injected: {len(injector.injections)} "
-              f"({args.faults})")
-    record = summarize(result, scenario.cost_model)
+        injected = report.result.extras.get("faults_injected", 0)
+        print(f"faults injected: {injected} ({args.faults})")
+    record = report.summary
     rows = [[key, value] for key, value in record.items()
             if isinstance(value, (int, float, str))]
     print(format_table(["metric", "value"], rows))
@@ -208,9 +263,63 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _sweep_progress(done: int, total: int, result) -> None:
+    """Live progress line: rewritten in place on a tty, one line per
+    cell otherwise (CI logs stay readable)."""
+    status = "ok" if result.ok else f"FAILED ({result.error})"
+    line = (f"[{done}/{total}] {result.label}: {status} "
+            f"in {result.duration:.1f}s")
+    if sys.stderr.isatty():
+        end = "\n" if done == total else ""
+        print(f"\r\x1b[2K{line}", end=end, file=sys.stderr, flush=True)
+    else:
+        print(line, file=sys.stderr, flush=True)
+
+
+def _cmd_sweep(args) -> int:
+    try:
+        schemes = _parse_csv(args.schemes, str, "scheme")
+        seeds = _parse_csv(args.seeds, int, "seed")
+        if args.loads:
+            scenarios = [ScenarioSpec.of(args.scenario, load_factor=load)
+                         for load in _parse_csv(args.loads, float, "load")]
+        else:
+            scenarios = [ScenarioSpec.of(args.scenario)]
+        grid = SweepGrid(schemes=schemes, scenarios=scenarios, seeds=seeds)
+        options = _options_from_args(args)
+    except (FaultSpecError, KeyError, TypeError, ValueError) as exc:
+        detail = exc.args[0] if exc.args else exc
+        print(f"error: {detail}", file=sys.stderr)
+        return 2
+    result = api.sweep(grid, options=options, progress=_sweep_progress)
+    rows = [[cell.index, cell.scheme, cell.scenario, cell.seed,
+             "ok" if cell.ok else f"FAILED: {cell.error}",
+             "" if cell.summary is None
+             else f"{cell.summary['welfare']:.1f}",
+             f"{cell.duration:.2f}"]
+            for cell in result.cells]
+    print(format_table(["cell", "scheme", "scenario", "seed", "status",
+                        "welfare", "secs"], rows))
+    print(f"{len(result.cells)} cell(s), {len(result.failures)} failed, "
+          f"{result.n_workers} worker(s), wall {result.wall_s:.1f}s")
+    if args.telemetry:
+        print(f"merged telemetry trace written to {result.trace_path}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result.summaries(), handle, indent=2, default=str)
+        print(f"summaries written to {args.out}")
+    for cell in result.failures:
+        print(f"cell {cell.index} ({cell.label}) failed: {cell.error}: "
+              f"{cell.detail}", file=sys.stderr)
+    return 1 if result.failures else 0
+
+
 def _cmd_figure(args) -> int:
     generator = FIGURES[args.id]
-    data = generator() if args.id == "2" else generator(seed=args.seed)
+    kwargs = {} if args.id == "2" else {"seed": args.seed}
+    if "workers" in inspect.signature(generator).parameters:
+        kwargs["workers"] = args.workers
+    data = generator(**kwargs)
     print(_render_figure(args.id, data))
     return 0
 
@@ -273,12 +382,17 @@ def _cmd_telemetry(args) -> int:
             if not findings:
                 print("audit clean: all invariants hold")
                 return 0
-            rows = [[f.check, "" if f.rid is None else f.rid,
+            # Merged sweep traces attribute findings to grid cells.
+            with_cell = any(f.cell is not None for f in findings)
+            rows = [([] if not with_cell
+                     else ["" if f.cell is None else f.cell]) +
+                    [f.check, "" if f.rid is None else f.rid,
                      "" if f.step is None else f.step,
                      "waived" if f.waived else "VIOLATION", f.detail]
                     for f in findings]
-            print(format_table(
-                ["check", "rid", "step", "status", "detail"], rows))
+            header = (["cell"] if with_cell else []) + \
+                ["check", "rid", "step", "status", "detail"]
+            print(format_table(header, rows))
             print(f"{len(findings)} finding(s), {len(failing)} unwaived")
             return 1 if failing else 0
         if args.telemetry_command == "export":
@@ -298,11 +412,16 @@ def _cmd_telemetry(args) -> int:
                 print(payload, end="" if payload.endswith("\n") else "\n")
             return 0
         if args.telemetry_command == "timeline":
+            where = args.trace
+            if args.cell is not None:
+                events = [event for event in events
+                          if event.get("cell") == args.cell]
+                where = f"cell {args.cell} of {args.trace}"
             try:
                 print(timeline(events, args.rid))
             except KeyError:
                 print(f"error: no ledger events for request {args.rid} "
-                      f"in {args.trace}", file=sys.stderr)
+                      f"in {where}", file=sys.stderr)
                 return 1
             return 0
     except FileNotFoundError:
@@ -322,6 +441,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "list-schemes":

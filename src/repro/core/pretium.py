@@ -46,13 +46,22 @@ class PretiumController:
     user_model:
         Customer behaviour; defaults to the Theorem 5.2 best response, or
         all-or-nothing when the config disables menus.
+    config_overrides:
+        Field overrides applied (via ``dataclasses.replace``) to the
+        resolved config at :meth:`begin` — on top of either an explicit
+        ``config`` or the workload-derived default.  This is how
+        :class:`~repro.options.RunOptions` knobs (``lp_builder``,
+        ``quote_path``, solver budgets) reach a controller without
+        callers re-deriving the window/lookback defaults.
     """
 
     name = "Pretium"
 
     def __init__(self, config: PretiumConfig | None = None,
-                 user_model: UserModel | None = None) -> None:
+                 user_model: UserModel | None = None,
+                 config_overrides: dict | None = None) -> None:
         self._config_template = config
+        self._config_overrides = dict(config_overrides or {})
         self._user_model = user_model
         self.state: NetworkState | None = None
         self.contracts: list[Contract] = []
@@ -69,6 +78,8 @@ class PretiumController:
             window = workload.steps_per_day
             config = PretiumConfig(window=window,
                                    lookback=window + window // 2)
+        if self._config_overrides:
+            config = replace(config, **self._config_overrides)
         self.config = config
         self.user = self._user_model or (
             BestResponseUser() if config.menu_enabled else AllOrNothingUser())

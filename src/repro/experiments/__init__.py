@@ -5,17 +5,24 @@ from .figure2 import ExampleRow, figure2_table
 from .incentives import (DEVIATIONS, DeviationOutcome, DeviationReport,
                          deviation_study)
 from .report import format_series, format_table
-from .runner import (SCHEME_FACTORIES, make_scheme, run_scheme, run_schemes,
+from .runner import (SCHEME_FACTORIES, SCHEME_SPECS, SchemeSpec,
+                     make_scheme, run_scheme, run_schemes, scheme_spec,
                      summaries)
-from .scenarios import (DEFAULT_SEED, LOAD_FACTORS, Scenario,
-                        production_scenario, quick_scenario,
-                        standard_scenario, standard_topology)
+from .scenarios import (DEFAULT_SEED, LOAD_FACTORS, SCENARIO_BUILDERS,
+                        Scenario, ScenarioSpec, production_scenario,
+                        quick_scenario, standard_scenario,
+                        standard_topology, tiny_scenario)
+from .sweep import (CellResult, SweepCell, SweepGrid, SweepResult,
+                    run_cell, run_sweep)
 
 __all__ = [
-    "DEFAULT_SEED", "DEVIATIONS", "DeviationOutcome", "DeviationReport",
-    "ExampleRow", "LOAD_FACTORS", "SCHEME_FACTORIES", "Scenario",
+    "CellResult", "DEFAULT_SEED", "DEVIATIONS", "DeviationOutcome",
+    "DeviationReport", "ExampleRow", "LOAD_FACTORS", "SCENARIO_BUILDERS",
+    "SCHEME_FACTORIES", "SCHEME_SPECS", "Scenario", "ScenarioSpec",
+    "SchemeSpec", "SweepCell", "SweepGrid", "SweepResult",
     "deviation_study", "figure2_table", "figures", "format_series",
     "format_table", "make_scheme", "production_scenario", "quick_scenario",
-    "run_scheme", "run_schemes", "standard_scenario", "standard_topology",
-    "summaries",
+    "run_cell", "run_scheme", "run_schemes", "run_sweep", "scheme_spec",
+    "standard_scenario", "standard_topology", "summaries",
+    "tiny_scenario",
 ]

@@ -4,61 +4,173 @@ Online schemes (the Pretium controller and its ablations) are driven by
 the discrete-time engine; offline schemes (OPT and the oracle baselines)
 compute their whole run in one LP pass.  Both produce the same
 :class:`~repro.sim.engine.RunResult`, so figures treat them uniformly.
+
+Schemes are registered as :class:`SchemeSpec` objects — a picklable
+(name, factory class, kwargs) triple rather than a bare lambda — so that
+grid cells can be shipped to sweep worker processes and parameterised
+variants (``make_scheme("RegionOracle", grid_points=9)``) fall out for
+free.  :func:`run_scheme` accepts a :class:`~repro.options.RunOptions`
+bundle and scopes the run environment (fault injector, telemetry trace)
+it asks for.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
+from typing import Callable
 
 from ..core import PretiumController
 from ..baselines import (NoPrices, OfflineOptimal, PeakOracle,
                          PretiumNoMenu, PretiumNoSAM, RegionOracle, VCGLike)
+from ..options import RunOptions, coerce_options, run_context
 from ..sim import RunResult, simulate, summarize
 from ..telemetry import get_tracer
 from .scenarios import Scenario
 
-#: Factories for every named scheme in the evaluation.  NoPrices treats
-#: bytes as obligations (volume first, cost second), mirroring the TE
-#: systems the paper says it mimics; its realised welfare still pays true
-#: percentile costs.
-SCHEME_FACTORIES = {
-    "OPT": lambda: OfflineOptimal(),
-    "NoPrices": lambda: NoPrices(),
-    "NoPrices-CostBlind": lambda: NoPrices(mode="cost_blind"),
-    "NoPrices-Weighted": lambda: NoPrices(mode="weighted"),
-    "RegionOracle": lambda: RegionOracle(grid_points=5),
-    "PeakOracle": lambda: PeakOracle(grid_points=5),
-    "VCGLike": lambda: VCGLike(),
-    "Pretium": lambda: PretiumController(),
-    "Pretium-NoMenu": lambda: PretiumNoMenu(),
-    "Pretium-NoSAM": lambda: PretiumNoSAM(),
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A picklable scheme factory: evaluation name + class + kwargs.
+
+    ``kwargs`` is a sorted tuple of ``(key, value)`` pairs (not a dict)
+    so specs hash, compare and pickle predictably — the property the
+    process-parallel sweep relies on.  Calling a spec builds a fresh
+    scheme instance, which keeps the historical
+    ``SCHEME_FACTORIES[name]()`` idiom working.
+    """
+
+    name: str
+    factory: Callable
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, factory: Callable, **kwargs) -> "SchemeSpec":
+        return cls(name, factory, tuple(sorted(kwargs.items())))
+
+    def with_kwargs(self, **overrides) -> "SchemeSpec":
+        """A copy with ``overrides`` merged over the spec's kwargs."""
+        merged = {**dict(self.kwargs), **overrides}
+        return SchemeSpec(self.name, self.factory,
+                          tuple(sorted(merged.items())))
+
+    def build(self, options: RunOptions | None = None):
+        """Instantiate the scheme (applying any config-mapped options)."""
+        kwargs = dict(self.kwargs)
+        kwargs.update(_options_kwargs(self.factory, options))
+        return self.factory(**kwargs)
+
+    def __call__(self):
+        return self.build()
+
+
+def _options_kwargs(factory: Callable, options: RunOptions | None) -> dict:
+    """Map a :class:`RunOptions` onto the kwargs ``factory`` accepts.
+
+    Config-bearing schemes (the Pretium family) take the overrides dict
+    whole via ``config_overrides``; offline schemes only understand the
+    LP construction path (their ``builder`` kwarg).  Knobs a factory has
+    no parameter for are silently inapplicable — e.g. ``quote_path``
+    cannot mean anything to OPT.
+    """
+    if options is None:
+        return {}
+    overrides = options.config_overrides()
+    if not overrides:
+        return {}
+    parameters = inspect.signature(factory).parameters
+    if "config_overrides" in parameters:
+        return {"config_overrides": overrides}
+    if "builder" in parameters and "lp_builder" in overrides:
+        return {"builder": overrides["lp_builder"]}
+    return {}
+
+
+#: Every named scheme in the evaluation, as picklable specs.  NoPrices
+#: treats bytes as obligations (volume first, cost second), mirroring
+#: the TE systems the paper says it mimics; its realised welfare still
+#: pays true percentile costs.
+SCHEME_SPECS = {
+    "OPT": SchemeSpec.of("OPT", OfflineOptimal),
+    "NoPrices": SchemeSpec.of("NoPrices", NoPrices),
+    "NoPrices-CostBlind": SchemeSpec.of("NoPrices-CostBlind", NoPrices,
+                                        mode="cost_blind"),
+    "NoPrices-Weighted": SchemeSpec.of("NoPrices-Weighted", NoPrices,
+                                       mode="weighted"),
+    "RegionOracle": SchemeSpec.of("RegionOracle", RegionOracle,
+                                  grid_points=5),
+    "PeakOracle": SchemeSpec.of("PeakOracle", PeakOracle, grid_points=5),
+    "VCGLike": SchemeSpec.of("VCGLike", VCGLike),
+    "Pretium": SchemeSpec.of("Pretium", PretiumController),
+    "Pretium-NoMenu": SchemeSpec.of("Pretium-NoMenu", PretiumNoMenu),
+    "Pretium-NoSAM": SchemeSpec.of("Pretium-NoSAM", PretiumNoSAM),
 }
 
+#: Backwards-compatible alias: the values are callable (a SchemeSpec
+#: invoked with no arguments builds the scheme), so existing
+#: ``SCHEME_FACTORIES[name]()`` call sites keep working.
+SCHEME_FACTORIES = SCHEME_SPECS
 
-def make_scheme(name: str):
-    """Instantiate a scheme by its evaluation name."""
+
+def scheme_spec(scheme: str | SchemeSpec) -> SchemeSpec:
+    """Resolve a scheme name (or pass a spec through) to a SchemeSpec."""
+    if isinstance(scheme, SchemeSpec):
+        return scheme
     try:
-        return SCHEME_FACTORIES[name]()
+        return SCHEME_SPECS[scheme]
     except KeyError:
-        raise KeyError(f"unknown scheme {name!r}; expected one of "
-                       f"{sorted(SCHEME_FACTORIES)}") from None
+        raise KeyError(f"unknown scheme {scheme!r}; expected one of "
+                       f"{sorted(SCHEME_SPECS)}") from None
 
 
-def run_scheme(scheme, scenario: Scenario) -> RunResult:
-    """Run a scheme instance (or name) on a scenario."""
-    if isinstance(scheme, str):
-        scheme = make_scheme(scheme)
-    name = getattr(scheme, "name", type(scheme).__name__)
-    with get_tracer().span("scheme.run", scheme=name,
-                           workload=scenario.workload.description):
-        if hasattr(scheme, "run"):
-            return scheme.run(scenario.workload)
-        return simulate(scheme, scenario.workload)
+def make_scheme(name: str, **kwargs):
+    """Instantiate a scheme by its evaluation name.
+
+    ``kwargs`` override the registry defaults, e.g.
+    ``make_scheme("RegionOracle", grid_points=9)``.
+    """
+    spec = scheme_spec(name)
+    if kwargs:
+        spec = spec.with_kwargs(**kwargs)
+    return spec.build()
 
 
-def run_schemes(names, scenario: Scenario) -> dict[str, RunResult]:
+def run_scheme(scheme, scenario: Scenario,
+               options: RunOptions | None = None, **legacy) -> RunResult:
+    """Run a scheme (name, :class:`SchemeSpec` or instance) on a scenario.
+
+    With ``options`` the run executes inside the environment the bundle
+    asks for — a seeded fault injector and/or a JSONL telemetry trace —
+    and, when the scheme is built here (by name or spec), the
+    config-mapped knobs (``lp_builder``, ``quote_path``, solver budgets)
+    are applied to it.  A pre-built scheme instance keeps whatever
+    config it was constructed with.
+
+    Old-style flat keyword options (``faults=...``, ``telemetry=...``)
+    are deprecated; they still work but emit a
+    :class:`DeprecationWarning`.
+    """
+    options = coerce_options(options, legacy, "run_scheme()")
+    with run_context(options) as env:
+        if isinstance(scheme, (str, SchemeSpec)):
+            scheme = scheme_spec(scheme).build(options)
+        name = getattr(scheme, "name", type(scheme).__name__)
+        with get_tracer().span("scheme.run", scheme=name,
+                               workload=scenario.workload.description):
+            if hasattr(scheme, "run"):
+                result = scheme.run(scenario.workload)
+            else:
+                result = simulate(scheme, scenario.workload)
+        if env.injector is not None:
+            result.extras["faults_injected"] = len(env.injector.injections)
+    return result
+
+
+def run_schemes(names, scenario: Scenario,
+                options: RunOptions | None = None) -> dict[str, RunResult]:
     """Run several schemes on one scenario, keyed by scheme name."""
-    return {name: run_scheme(name, scenario) for name in names}
+    return {name: run_scheme(name, scenario, options=options)
+            for name in names}
 
 
 def summaries(results: dict[str, RunResult],

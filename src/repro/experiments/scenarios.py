@@ -94,6 +94,75 @@ def quick_scenario(load_factor: float = 2.0,
                     LinkCostModel(topology, billing_window=8))
 
 
+def tiny_scenario(load_factor: float = 2.0,
+                  seed: int = DEFAULT_SEED) -> Scenario:
+    """The smallest meaningful world: ~90 requests over 6 steps.
+
+    Every scheme (including the grid-search oracles and the per-step
+    VCG market) finishes in well under a second here, so grids over all
+    ten schemes stay cheap — the determinism suite and the CI
+    ``sweep-smoke`` job run on this scenario.
+    """
+    topology = wan_topology(n_nodes=6, n_regions=2, metered_fraction=0.2,
+                            metered_cost=25.0, seed=seed)
+    workload = build_workload(
+        topology, n_days=1, steps_per_day=6, load_factor=load_factor,
+        values=NormalValues(1.0, 0.5), target_mean_utilization=0.5,
+        max_requests_per_pair=3, seed=seed)
+    return Scenario(topology, workload,
+                    LinkCostModel(topology, billing_window=6))
+
+
+#: Named scenario builders a :class:`ScenarioSpec` can refer to.  Keys
+#: are the names accepted by ``repro sweep --scenario`` and by
+#: :meth:`ScenarioSpec.of`.
+SCENARIO_BUILDERS = {
+    "standard": standard_scenario,
+    "quick": quick_scenario,
+    "tiny": tiny_scenario,
+    # filled in below (defined later in the module)
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A picklable recipe for a scenario: builder name + kwargs.
+
+    Sweep workers run in separate processes, so grid cells must travel
+    as *specs*, not as built :class:`Scenario` objects (a scenario holds
+    the full workload; rebuilding from the seed in the worker is both
+    cheaper to ship and exactly as deterministic).  ``kwargs`` is stored
+    as a sorted tuple of pairs so specs hash, compare and pickle
+    predictably.
+    """
+
+    name: str = "standard"
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.name not in SCENARIO_BUILDERS:
+            raise ValueError(f"unknown scenario {self.name!r}; expected "
+                             f"one of {sorted(SCENARIO_BUILDERS)}")
+
+    @classmethod
+    def of(cls, name: str = "standard", **kwargs) -> "ScenarioSpec":
+        """Spec for ``SCENARIO_BUILDERS[name](**kwargs)``."""
+        return cls(name, tuple(sorted(kwargs.items())))
+
+    def build(self, seed: int | None = None) -> Scenario:
+        """Build the scenario (``seed`` overrides any spec'd seed)."""
+        kwargs = dict(self.kwargs)
+        if seed is not None:
+            kwargs["seed"] = seed
+        return SCENARIO_BUILDERS[self.name](**kwargs)
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable id, e.g. ``standard(load_factor=2.0)``."""
+        inner = ",".join(f"{key}={value}" for key, value in self.kwargs)
+        return f"{self.name}({inner})" if inner else self.name
+
+
 def production_scenario(load_factor: float = 1.0,
                         seed: int = DEFAULT_SEED,
                         request_cap: int = 1500) -> Scenario:
@@ -119,3 +188,6 @@ def production_scenario(load_factor: float = 1.0,
                             workload.description + f" [top {request_cap}]")
     return Scenario(topology, workload,
                     LinkCostModel(topology, billing_window=24))
+
+
+SCENARIO_BUILDERS["production"] = production_scenario

@@ -1,0 +1,309 @@
+"""Process-parallel sweeps over the scheme × scenario × seed grid.
+
+The paper's evaluation (§6) is a grid: ~10 schemes, several scenarios,
+multiple seeds.  Serial execution pays the full sum of wall-clock; this
+module shards the grid across a spawn-based ``ProcessPoolExecutor``:
+
+- **cells travel as specs** — a :class:`SweepCell` carries a picklable
+  :class:`~repro.experiments.runner.SchemeSpec` and
+  :class:`~repro.experiments.scenarios.ScenarioSpec` plus a seed; the
+  worker rebuilds scenario and scheme deterministically, so a 4-worker
+  sweep is bit-identical to the serial path (both run :func:`run_cell`);
+- **per-cell telemetry shards** — with ``options.telemetry`` set each
+  cell writes its own JSONL shard, every event stamped with the cell id
+  and worker pid (:class:`~repro.telemetry.TagSink`); shards are merged
+  in cell order into one trace whose request ledger still balances
+  (``telemetry audit`` partitions it by the ``cell`` tag);
+- **structured failure capture** — an exception inside a cell (or a
+  worker process death) yields a :class:`CellResult` with
+  ``ok=False`` and the error recorded, not a dead sweep;
+- **live progress** — a ``progress(done, total, result)`` callback
+  fires as cells complete (the CLI renders it as a progress line).
+
+Determinism note: cells are *submitted* in grid order and *collected*
+as they finish, but results are reassembled by cell index, and each
+cell's RNG state derives only from its own specs — nothing observable
+depends on scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..options import RunOptions, coerce_options
+from ..sim import summarize
+from ..telemetry import merge_traces
+from .runner import SchemeSpec, run_scheme, scheme_spec
+from .scenarios import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (scheme, scenario, seed) grid point, picklable end-to-end."""
+
+    index: int
+    scheme: SchemeSpec
+    scenario: ScenarioSpec
+    seed: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.scheme.name}/{self.scenario.label}/seed={self.seed}"
+
+
+class SweepGrid:
+    """The cartesian grid of an evaluation sweep.
+
+    ``schemes`` accepts registry names or :class:`SchemeSpec` objects;
+    ``scenarios`` accepts builder names or :class:`ScenarioSpec`
+    objects.  Built :class:`~repro.experiments.scenarios.Scenario`
+    instances are deliberately rejected — cells must be cheap to pickle
+    into worker processes, and a spec rebuilt from its seed is exactly
+    as deterministic.
+    """
+
+    def __init__(self, schemes: Iterable, scenarios: Iterable = ("standard",),
+                 seeds: Iterable[int] = (0,)) -> None:
+        self.schemes = tuple(scheme_spec(s) for s in schemes)
+        self.scenarios = tuple(self._as_scenario_spec(s) for s in scenarios)
+        self.seeds = tuple(int(s) for s in seeds)
+        if not self.schemes:
+            raise ValueError("a sweep needs at least one scheme")
+        if not self.scenarios:
+            raise ValueError("a sweep needs at least one scenario")
+        if not self.seeds:
+            raise ValueError("a sweep needs at least one seed")
+
+    @staticmethod
+    def _as_scenario_spec(scenario) -> ScenarioSpec:
+        if isinstance(scenario, ScenarioSpec):
+            return scenario
+        if isinstance(scenario, str):
+            return ScenarioSpec.of(scenario)
+        raise TypeError(
+            f"scenarios must be names or ScenarioSpec objects, not "
+            f"{type(scenario).__name__}: sweep cells are shipped to "
+            "worker processes as picklable specs, not built scenarios")
+
+    def cells(self) -> list[SweepCell]:
+        """Grid cells in deterministic order (scenario, seed, scheme)."""
+        out = []
+        for scenario in self.scenarios:
+            for seed in self.seeds:
+                for scheme in self.schemes:
+                    out.append(SweepCell(index=len(out), scheme=scheme,
+                                         scenario=scenario, seed=seed))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.schemes) * len(self.scenarios) * len(self.seeds)
+
+
+@dataclass
+class CellResult:
+    """Outcome of one grid cell — a completed run or a captured failure.
+
+    A successful cell carries everything the determinism suite and the
+    figures need (summary record, per-request delivered/payments/chosen,
+    the realised load grid) without shipping the workload back from the
+    worker.  A failed cell (``ok=False``) records the exception type,
+    message and traceback instead — one crashed cell never kills the
+    sweep.
+    """
+
+    index: int
+    scheme: str
+    scenario: str
+    seed: int
+    ok: bool
+    summary: dict | None = None
+    delivered: dict[int, float] = field(default_factory=dict)
+    payments: dict[int, float] = field(default_factory=dict)
+    chosen: dict[int, float] = field(default_factory=dict)
+    loads: np.ndarray | None = None
+    n_failures: int = 0
+    error: str | None = None
+    detail: str | None = None
+    traceback: str | None = None
+    worker: int = 0
+    duration: float = 0.0
+    trace_path: str | None = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.scheme}/{self.scenario}/seed={self.seed}"
+
+
+@dataclass
+class SweepResult:
+    """Every cell outcome of one sweep, in grid order."""
+
+    cells: list[CellResult]
+    trace_path: str | None = None
+    wall_s: float = 0.0
+    n_workers: int = 1
+
+    @property
+    def failures(self) -> list[CellResult]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summaries(self) -> list[dict]:
+        """JSON-friendly per-cell records (summary + cell identity)."""
+        out = []
+        for cell in self.cells:
+            record = {"cell": cell.index, "scheme": cell.scheme,
+                      "scenario": cell.scenario, "seed": cell.seed,
+                      "ok": cell.ok, "duration_s": cell.duration}
+            if cell.ok:
+                record.update(cell.summary or {})
+            else:
+                record.update({"error": cell.error, "detail": cell.detail})
+            out.append(record)
+        return out
+
+    def summary_for(self, scheme: str, scenario: str | None = None,
+                    seed: int | None = None) -> dict:
+        """The summary record of the first matching successful cell."""
+        for cell in self.cells:
+            if cell.scheme != scheme or not cell.ok:
+                continue
+            if scenario is not None and cell.scenario != scenario:
+                continue
+            if seed is not None and cell.seed != seed:
+                continue
+            return cell.summary
+        raise KeyError(f"no successful cell for scheme={scheme!r}, "
+                       f"scenario={scenario!r}, seed={seed!r}")
+
+
+def _cell_trace_path(base: str | Path, index: int) -> Path:
+    """Unique shard path for a cell: ``trace.jsonl`` → ``trace.cell-0003.jsonl``."""
+    base = Path(base)
+    return base.with_name(f"{base.stem}.cell-{index:04d}{base.suffix or '.jsonl'}")
+
+
+def run_cell(cell: SweepCell, options: RunOptions | None = None,
+             trace_base: str | Path | None = None) -> CellResult:
+    """Execute one grid cell; never raises.
+
+    This is the shared unit of both the serial and the parallel sweep
+    paths (so they are bit-identical by construction), and the function
+    a worker process runs.  The cell's scenario is rebuilt from its spec
+    with the cell seed; with ``trace_base`` set, telemetry lands in the
+    cell's own shard, tagged with the cell id and this process's pid.
+    """
+    begin = time.perf_counter()
+    pid = os.getpid()
+    trace_path = None
+    cell_options = options or RunOptions()
+    if trace_base is not None:
+        trace_path = _cell_trace_path(trace_base, cell.index)
+        cell_options = cell_options.replace(
+            telemetry=trace_path, workers=1,
+            trace_tags=(("cell", cell.index), ("worker", pid)))
+    else:
+        cell_options = cell_options.replace(telemetry=None, workers=1)
+    try:
+        scenario = cell.scenario.build(seed=cell.seed)
+        result = run_scheme(cell.scheme, scenario, options=cell_options)
+        summary = summarize(result, scenario.cost_model)
+        return CellResult(
+            index=cell.index, scheme=cell.scheme.name,
+            scenario=cell.scenario.label, seed=cell.seed, ok=True,
+            summary=summary, delivered=dict(result.delivered),
+            payments=dict(result.payments), chosen=dict(result.chosen),
+            loads=result.loads,
+            n_failures=len(result.extras.get("failures", ())),
+            worker=pid, duration=time.perf_counter() - begin,
+            trace_path=None if trace_path is None else str(trace_path))
+    except Exception as exc:  # noqa: BLE001 — structured capture is the point
+        return CellResult(
+            index=cell.index, scheme=cell.scheme.name,
+            scenario=cell.scenario.label, seed=cell.seed, ok=False,
+            error=type(exc).__name__, detail=str(exc),
+            traceback=traceback.format_exc(), worker=pid,
+            duration=time.perf_counter() - begin,
+            trace_path=None if trace_path is None else str(trace_path))
+
+
+def run_sweep(grid: SweepGrid, options: RunOptions | None = None,
+              progress: Callable[[int, int, CellResult], None] | None = None,
+              **legacy) -> SweepResult:
+    """Run every cell of ``grid``, serially or across worker processes.
+
+    ``options.workers`` selects the degree of process parallelism
+    (1 = in-process serial execution, the reference path).  Workers are
+    spawned — not forked — so each starts from a clean interpreter with
+    no inherited tracer/registry/injector state, matching what the
+    serial path scopes per cell.
+
+    With ``options.telemetry`` set, per-cell shards are merged (in cell
+    order) into that path when the sweep completes and the shards are
+    removed; the merged trace carries every worker's spans and ledger
+    events, tagged, so ``telemetry audit`` and ``telemetry report``
+    work on it directly.
+
+    ``progress`` is invoked after every finished cell with
+    ``(done, total, result)``.
+    """
+    options = coerce_options(options, legacy, "run_sweep()")
+    opts = options or RunOptions()
+    cells = grid.cells()
+    total = len(cells)
+    trace_base = opts.telemetry
+    workers = min(max(1, opts.workers), total)
+    begin = time.perf_counter()
+    results: list[CellResult | None] = [None] * total
+
+    def _collect(result: CellResult, done: int) -> None:
+        results[result.index] = result
+        if progress is not None:
+            progress(done, total, result)
+
+    if workers == 1:
+        for done, cell in enumerate(cells, start=1):
+            _collect(run_cell(cell, opts, trace_base), done)
+    else:
+        context = get_context("spawn")
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            futures = {pool.submit(run_cell, cell, opts, trace_base): cell
+                       for cell in cells}
+            for done, future in enumerate(as_completed(futures), start=1):
+                cell = futures[future]
+                try:
+                    result = future.result()
+                except Exception as exc:  # worker process died
+                    result = CellResult(
+                        index=cell.index, scheme=cell.scheme.name,
+                        scenario=cell.scenario.label, seed=cell.seed,
+                        ok=False, error=type(exc).__name__,
+                        detail=f"worker process failed: {exc}")
+                _collect(result, done)
+
+    merged_path = None
+    if trace_base is not None:
+        shards = [Path(cell.trace_path) for cell in results
+                  if cell is not None and cell.trace_path is not None
+                  and Path(cell.trace_path).exists()]
+        merge_traces(shards, trace_base)
+        for shard in shards:
+            shard.unlink()
+        merged_path = str(trace_base)
+
+    return SweepResult(cells=list(results), trace_path=merged_path,
+                       wall_s=time.perf_counter() - begin,
+                       n_workers=workers)

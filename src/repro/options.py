@@ -1,0 +1,198 @@
+"""Run-level options: one typed bundle for every knob a run accepts.
+
+Before this module, the knobs of a run were scattered: solver budgets
+and builder choices lived on :class:`~repro.core.config.PretiumConfig`,
+fault injection and telemetry were wired up by hand at every call site
+(the CLI, the chaos conftest, ad-hoc scripts).  :class:`RunOptions`
+consolidates them into one picklable dataclass accepted by the engine
+(:func:`repro.sim.engine.simulate`), the runner
+(:func:`repro.experiments.runner.run_scheme`), the sweep subsystem
+(:mod:`repro.experiments.sweep`) and the CLI.
+
+Two kinds of fields:
+
+- **config-mapped** (``lp_builder``, ``quote_path``, ``solver_*``) —
+  overrides applied to a scheme's :class:`PretiumConfig` (or an offline
+  scheme's ``builder`` kwarg) when the scheme is built from a
+  :class:`~repro.experiments.runner.SchemeSpec`; ``None`` means "keep
+  the scheme's default";
+- **environment** (``faults``/``fault_seed``, ``telemetry``,
+  ``trace_tags``, ``workers``) — the scoped process state
+  (:func:`run_context`) every run executes inside: a seeded fault
+  injector, a per-run metrics registry, and a JSONL trace writer whose
+  events can be stamped with sweep worker/cell ids.
+
+Old-style flat keyword arguments on :func:`simulate`/``run_scheme``
+still work through :func:`coerce_options`, which folds them into a
+:class:`RunOptions` and emits a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+#: RunOptions fields that map onto PretiumConfig attributes of the same
+#: name (applied via ``config_overrides`` when a scheme is built).
+CONFIG_FIELDS = ("lp_builder", "quote_path", "solver_retries",
+                 "solver_backoff", "solver_time_limit", "solver_maxiter")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Every run-level knob, in one typed, picklable bundle.
+
+    Attributes
+    ----------
+    lp_builder:
+        LP construction path override (``"coo"``/``"expr"``); also maps
+        to the offline schemes' ``builder`` kwarg.
+    quote_path:
+        RA quote implementation override (``"heap"``/``"scan"``).
+    solver_retries / solver_backoff / solver_time_limit / solver_maxiter:
+        Resilience budgets (see :class:`~repro.core.config.PretiumConfig`).
+    faults:
+        Fault-injection spec installed process-wide for the run (see
+        :func:`repro.faults.parse_fault_spec`); ``None`` disables it.
+    fault_seed:
+        Seed for probabilistic fault rules.
+    telemetry:
+        JSONL trace path; when set the run executes under a fresh
+        tracer + metrics registry writing to this file.
+    trace_tags:
+        ``(key, value)`` pairs stamped onto every emitted event (the
+        sweep tags shards with ``cell`` and ``worker`` ids).
+    workers:
+        Process-parallelism degree for sweeps (a single run ignores it;
+        :func:`repro.experiments.sweep.run_sweep` shards its grid over
+        this many spawned workers).
+    """
+
+    lp_builder: str | None = None
+    quote_path: str | None = None
+    solver_retries: int | None = None
+    solver_backoff: float | None = None
+    solver_time_limit: float | None = None
+    solver_maxiter: int | None = None
+    faults: str | None = None
+    fault_seed: int = 0
+    telemetry: str | Path | None = None
+    trace_tags: tuple[tuple[str, object], ...] = ()
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.lp_builder not in (None, "coo", "expr"):
+            raise ValueError(f"unknown lp_builder {self.lp_builder!r}")
+        if self.quote_path not in (None, "heap", "scan"):
+            raise ValueError(f"unknown quote_path {self.quote_path!r}")
+        if self.solver_retries is not None and self.solver_retries < 0:
+            raise ValueError("solver_retries must be >= 0")
+        if self.solver_backoff is not None and self.solver_backoff < 0:
+            raise ValueError("solver_backoff must be >= 0")
+        if self.solver_time_limit is not None and self.solver_time_limit <= 0:
+            raise ValueError("solver_time_limit must be positive")
+        if self.solver_maxiter is not None and self.solver_maxiter <= 0:
+            raise ValueError("solver_maxiter must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.faults is not None:
+            # Fail at construction, not silently mid-run (same contract
+            # as PretiumConfig's eager spec validation).
+            from .faults.injector import parse_fault_spec
+            parse_fault_spec(self.faults)
+
+    # -- derived views -------------------------------------------------------
+    def config_overrides(self) -> dict:
+        """The non-``None`` config-mapped fields, as a kwargs dict."""
+        out = {}
+        for name in CONFIG_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+    def replace(self, **changes) -> "RunOptions":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass
+class RunEnvironment:
+    """What :func:`run_context` scoped for the duration of a run."""
+
+    tracer: object | None = None
+    injector: object | None = None
+
+
+def coerce_options(options: RunOptions | None, legacy: dict,
+                   where: str) -> RunOptions | None:
+    """Fold deprecated flat keyword options into a :class:`RunOptions`.
+
+    ``legacy`` is the ``**kwargs`` dict an old-style caller passed (e.g.
+    ``run_scheme(..., faults="sam:solver@5")``).  Unknown names raise
+    ``TypeError``; known names are merged over ``options`` with a
+    :class:`DeprecationWarning` pointing at the replacement.
+    """
+    if not legacy:
+        return options
+    field_names = {f.name for f in dataclasses.fields(RunOptions)}
+    unknown = sorted(set(legacy) - field_names)
+    if unknown:
+        raise TypeError(f"{where} got unexpected keyword argument(s) "
+                        f"{', '.join(map(repr, unknown))}")
+    warnings.warn(
+        f"passing flat keyword options to {where} is deprecated; "
+        f"pass options=RunOptions({', '.join(sorted(legacy))}=...) instead",
+        DeprecationWarning, stacklevel=3)
+    base = options if options is not None else RunOptions()
+    return dataclasses.replace(base, **legacy)
+
+
+@contextmanager
+def run_context(options: RunOptions | None):
+    """Scope the process-wide run environment an options bundle asks for.
+
+    With ``options`` set this installs, for the duration of the block:
+
+    - a seeded :class:`~repro.faults.FaultInjector` (``options.faults``);
+    - a fresh :class:`~repro.telemetry.MetricsRegistry` plus a
+      :class:`~repro.telemetry.Tracer` writing to ``options.telemetry``
+      (events stamped with ``options.trace_tags``), with the metrics
+      snapshot emitted and the sink closed on exit.
+
+    Yields a :class:`RunEnvironment` naming what was installed, so
+    callers can report injector/trace facts without re-deriving them.
+    ``options=None`` (or an options bundle asking for nothing) yields an
+    empty environment and changes no process state.
+    """
+    env = RunEnvironment()
+    if options is None:
+        yield env
+        return
+    from .telemetry import TagSink, TraceWriter, Tracer, use_registry, \
+        use_tracer
+    with ExitStack() as stack:
+        if options.faults is not None:
+            from .faults import FaultInjector, use_injector
+            env.injector = FaultInjector.from_spec(options.faults,
+                                                  seed=options.fault_seed)
+            stack.enter_context(use_injector(env.injector))
+        if options.telemetry is not None:
+            path = Path(options.telemetry)
+            if path.parent != Path("."):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            registry = stack.enter_context(use_registry())
+            sink = TraceWriter(path)
+            if options.trace_tags:
+                sink = TagSink(sink, dict(options.trace_tags))
+            env.tracer = Tracer(sinks=[sink], registry=registry)
+            stack.enter_context(use_tracer(env.tracer))
+        try:
+            yield env
+        finally:
+            if env.tracer is not None:
+                env.tracer.emit_metrics()
+                env.tracer.close()

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.admission import EPS
 from ..lp import LPError
+from ..options import RunOptions, coerce_options, run_context
 from ..telemetry import get_registry, get_tracer, ledger
 from ..traffic.workload import Workload
 
@@ -114,14 +115,31 @@ class ModuleRuntimes:
         return out
 
 
-def simulate(scheme, workload: Workload) -> RunResult:
+def simulate(scheme, workload: Workload,
+             options: RunOptions | None = None, **legacy) -> RunResult:
     """Run ``scheme`` online over ``workload`` and settle payments.
 
     Per-module timing (Table 4) is captured through telemetry spans
     named ``ra``/``sam``/``pc``: with a tracer configured the spans land
     in the trace; either way their durations populate the
     :class:`ModuleRuntimes` summary in ``extras["runtimes"]``.
+
+    ``options`` scopes the run environment (fault injector, telemetry
+    trace) for this run; see :class:`~repro.options.RunOptions`.  The
+    scheme is already constructed by the time the engine sees it, so
+    config-mapped option fields (``lp_builder`` etc.) do not apply here
+    — build the scheme through :func:`repro.experiments.runner.run_scheme`
+    (or :func:`repro.api.run`) for those.  Old-style flat keyword
+    options are deprecated but still accepted.
     """
+    options = coerce_options(options, legacy, "simulate()")
+    if options is not None:
+        with run_context(options):
+            return _simulate(scheme, workload)
+    return _simulate(scheme, workload)
+
+
+def _simulate(scheme, workload: Workload) -> RunResult:
     scheme_name = getattr(scheme, "name", type(scheme).__name__)
     tracer = get_tracer()
     scheme.begin(workload)

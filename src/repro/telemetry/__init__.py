@@ -40,15 +40,17 @@ from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
                        get_registry, set_registry, use_registry)
 from .report import aggregate_spans, metrics_table, module_runtimes, \
     report_trace, runtime_table
-from .sinks import InMemoryCollector, TraceWriter, read_trace
+from .sinks import (InMemoryCollector, TagSink, TraceWriter, merge_traces,
+                    read_trace)
 from .trace import Span, Tracer, get_tracer, set_tracer, use_tracer
 
 __all__ = [
     "Counter", "Finding", "Gauge", "Histogram", "InMemoryCollector",
-    "Ledger", "MetricsRegistry", "RequestHistory", "Span", "TraceWriter",
-    "Tracer", "aggregate_spans", "audit_events", "audit_trace",
-    "chrome_trace", "chrome_trace_json", "get_registry", "get_tracer",
-    "ledger_events", "metrics_table", "module_runtimes", "prometheus_text",
-    "read_trace", "report_trace", "runtime_table", "set_registry",
-    "set_tracer", "timeline", "unwaived", "use_registry", "use_tracer",
+    "Ledger", "MetricsRegistry", "RequestHistory", "Span", "TagSink",
+    "TraceWriter", "Tracer", "aggregate_spans", "audit_events",
+    "audit_trace", "chrome_trace", "chrome_trace_json", "get_registry",
+    "get_tracer", "ledger_events", "merge_traces", "metrics_table",
+    "module_runtimes", "prometheus_text", "read_trace", "report_trace",
+    "runtime_table", "set_registry", "set_tracer", "timeline", "unwaived",
+    "use_registry", "use_tracer",
 ]

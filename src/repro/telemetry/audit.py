@@ -27,7 +27,7 @@ lost bytes and who paid for what" directly from its trace.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from .ledger import Ledger, RequestHistory
@@ -53,6 +53,9 @@ class Finding:
     step: int | None = None
     link: int | None = None
     waived: bool = False
+    #: Sweep grid-cell id for findings from a merged multi-run trace
+    #: (``None`` for single-run traces).
+    cell: int | None = None
 
 
 def audit_trace(path: str | Path, summary: dict | None = None
@@ -68,7 +71,30 @@ def audit_events(events: list[dict], summary: dict | None = None
     ``summary`` is an optional :func:`~repro.sim.recorder.summarize`
     record for the same run; when given, ledger totals are reconciled
     against its ``payments``/``delivered``/``total_value`` entries.
+
+    A *merged* sweep trace interleaves several independent runs, each
+    tagged with its grid-cell id (see
+    :class:`~repro.telemetry.sinks.TagSink`).  Such traces are
+    partitioned by the ``cell`` tag and each run is audited on its own —
+    request ids and capacity grids are only unique within a run — with
+    every finding carrying its cell id.  ``summary`` reconciliation only
+    applies to single-run traces (one summary cannot describe many
+    runs), so it is skipped, per cell, for merged traces.
     """
+    groups: dict[object, list[dict]] = {}
+    for event in events:
+        groups.setdefault(event.get("cell"), []).append(event)
+    if len(groups) <= 1:
+        return _audit_run(events, summary)
+    findings: list[Finding] = []
+    for key in sorted(groups, key=lambda c: (c is None, c)):
+        findings += [replace(f, cell=key if isinstance(key, int) else None)
+                     for f in _audit_run(groups[key], summary=None)]
+    return findings
+
+
+def _audit_run(events: list[dict], summary: dict | None) -> list[Finding]:
+    """Audit one run's events (the single-RUN_STARTED case)."""
     ledger = Ledger(events)
     findings: list[Finding] = []
     findings += _check_byte_conservation(ledger)

@@ -1,0 +1,145 @@
+"""Tests for the consolidated :class:`repro.options.RunOptions` bundle."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.runner import run_scheme
+from repro.experiments.scenarios import tiny_scenario
+from repro.faults import FaultSpecError
+from repro.options import (RunOptions, coerce_options, run_context)
+from repro.sim import simulate
+from repro.sim.engine import RunResult
+from repro.telemetry import read_trace
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return tiny_scenario(seed=0)
+
+
+# -- validation ---------------------------------------------------------------
+
+def test_defaults_ask_for_nothing():
+    options = RunOptions()
+    assert options.config_overrides() == {}
+    assert options.faults is None and options.telemetry is None
+    assert options.workers == 1
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(lp_builder="dense"),
+    dict(quote_path="binary"),
+    dict(solver_retries=-1),
+    dict(solver_backoff=-0.5),
+    dict(solver_time_limit=0),
+    dict(solver_maxiter=0),
+    dict(workers=0),
+])
+def test_invalid_values_rejected_eagerly(kwargs):
+    with pytest.raises(ValueError):
+        RunOptions(**kwargs)
+
+
+def test_bad_fault_spec_rejected_at_construction():
+    with pytest.raises(FaultSpecError):
+        RunOptions(faults="sam:nonsense")
+
+
+def test_config_overrides_collects_non_none_config_fields():
+    options = RunOptions(quote_path="scan", solver_retries=0,
+                         faults="sam:solver@1", telemetry="t.jsonl")
+    assert options.config_overrides() == {"quote_path": "scan",
+                                          "solver_retries": 0}
+
+
+def test_replace_and_pickle_roundtrip():
+    options = RunOptions(lp_builder="expr", workers=4,
+                         trace_tags=(("cell", 3),))
+    clone = pickle.loads(pickle.dumps(options))
+    assert clone == options
+    assert options.replace(workers=1).workers == 1
+    assert options.workers == 4  # frozen original untouched
+
+
+# -- coercion of legacy flat kwargs -------------------------------------------
+
+def test_coerce_options_passthrough_and_merge():
+    assert coerce_options(None, {}, "f()") is None
+    base = RunOptions(workers=2)
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        merged = coerce_options(base, {"faults": "pc:timeout@1"}, "f()")
+    assert merged.workers == 2
+    assert merged.faults == "pc:timeout@1"
+
+
+def test_coerce_options_rejects_unknown_names():
+    with pytest.raises(TypeError, match="retries"):
+        coerce_options(None, {"retries": 3}, "f()")
+
+
+# -- run_context --------------------------------------------------------------
+
+def test_run_context_none_installs_nothing():
+    with run_context(None) as env:
+        assert env.tracer is None and env.injector is None
+
+
+def test_run_context_scopes_injector_and_tagged_trace(tmp_path):
+    trace = tmp_path / "deep" / "trace.jsonl"
+    options = RunOptions(faults="sam:solver@1x1", fault_seed=3,
+                         telemetry=trace, trace_tags=(("cell", 7),))
+    with run_context(options) as env:
+        assert env.injector is not None
+        assert env.tracer is not None
+        env.tracer.emit({"kind": "probe"})
+    events = read_trace(trace)  # parent dir was created, sink closed
+    assert events and all(event["cell"] == 7 for event in events)
+
+
+# -- deprecation shims on the public entry points -----------------------------
+
+def test_run_scheme_flat_kwargs_deprecated_but_functional(scenario,
+                                                          tmp_path):
+    trace = tmp_path / "t.jsonl"
+    with pytest.warns(DeprecationWarning, match="run_scheme"):
+        result = run_scheme("Pretium", scenario,
+                            faults="sam:solver@2x1", telemetry=trace)
+    assert isinstance(result, RunResult)
+    assert result.extras["faults_injected"] == 1
+    assert trace.exists()
+
+
+def test_run_scheme_unknown_kwarg_is_type_error(scenario):
+    with pytest.raises(TypeError, match="fault_spec"):
+        run_scheme("NoPrices", scenario, fault_spec="sam:solver@1")
+
+
+def test_simulate_accepts_options_and_flat_kwargs(scenario, tmp_path):
+    from repro.core import PretiumController
+    options = RunOptions(telemetry=tmp_path / "a.jsonl")
+    with_options = simulate(PretiumController(), scenario.workload,
+                            options=options)
+    with pytest.warns(DeprecationWarning, match="simulate"):
+        with_flat = simulate(PretiumController(), scenario.workload,
+                             telemetry=tmp_path / "b.jsonl")
+    assert with_options.delivered == with_flat.delivered
+    assert (tmp_path / "a.jsonl").exists()
+    assert (tmp_path / "b.jsonl").exists()
+
+
+def test_options_quote_path_reaches_the_controller(scenario):
+    scan = run_scheme("Pretium", scenario,
+                      options=RunOptions(quote_path="scan"))
+    heap = run_scheme("Pretium", scenario,
+                      options=RunOptions(quote_path="heap"))
+    # Both quote paths are exact: same economics, different machinery.
+    assert scan.payments == heap.payments
+    assert scan.delivered == heap.delivered
+
+
+def test_options_lp_builder_reaches_offline_schemes(scenario):
+    coo = run_scheme("OPT", scenario, options=RunOptions(lp_builder="coo"))
+    expr = run_scheme("OPT", scenario,
+                      options=RunOptions(lp_builder="expr"))
+    assert coo.delivered == pytest.approx(expr.delivered)

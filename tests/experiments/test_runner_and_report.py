@@ -87,3 +87,27 @@ def test_format_series():
 def test_format_handles_nan():
     out = format_table(["x"], [[float("nan")]])
     assert "nan" in out
+
+
+def test_make_scheme_accepts_kwargs():
+    scheme = make_scheme("RegionOracle", grid_points=3)
+    assert scheme.grid_points == 3
+    default = make_scheme("RegionOracle")
+    assert default.grid_points == 5
+
+
+def test_scheme_specs_are_picklable():
+    import pickle
+    from repro.experiments import SCHEME_SPECS
+    for name, spec in SCHEME_SPECS.items():
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.name == name
+        assert clone.build() is not None
+
+
+def test_scheme_factories_alias_keeps_callable_idiom():
+    # Historical call sites do SCHEME_FACTORIES[name]() — specs are
+    # callable, so the lambda-era idiom keeps working.
+    scheme = SCHEME_FACTORIES["NoPrices"]()
+    assert scheme.name == "NoPrices"

@@ -231,3 +231,37 @@ def test_real_run_ledger_matches_ground_truth():
         history = ledger.request(contract.rid)
         assert history.delivered_total == pytest.approx(
             result.delivered.get(contract.rid, 0.0))
+
+
+# -- merged sweep traces ------------------------------------------------------
+
+def tagged(events, cell):
+    return [{**event, "cell": cell, "worker": 4000 + cell}
+            for event in events]
+
+
+def test_merged_trace_partitions_by_cell():
+    # Two tagged single-run ledgers interleaved into one trace: each
+    # cell must audit independently (rids and capacity grids repeat).
+    merged = tagged(clean_run_events(), 0) + tagged(clean_run_events(), 1)
+    assert audit_events(merged) == []
+
+
+def test_merged_trace_attributes_findings_to_their_cell():
+    bad = clean_run_events()
+    for event in bad:
+        if event["event"] == "RUN_ENDED":
+            event["payments_total"] = 99.0  # break one cell's books
+    merged = tagged(clean_run_events(), 0) + tagged(bad, 1)
+    findings = audit_events(merged)
+    assert findings
+    assert {f.cell for f in findings} == {1}
+    assert unwaived(findings)
+
+
+def test_untagged_trace_keeps_single_run_semantics_and_no_cell():
+    bad = clean_run_events()
+    bad[-1]["payments_total"] = 99.0
+    findings = audit_events(bad)
+    assert findings
+    assert all(f.cell is None for f in findings)

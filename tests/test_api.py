@@ -1,0 +1,70 @@
+"""Tests for the stable :mod:`repro.api` facade."""
+
+import pytest
+
+import repro
+from repro.api import AuditReport, RunReport, run, sweep, audit
+from repro.experiments.scenarios import ScenarioSpec, tiny_scenario
+from repro.options import RunOptions
+
+
+def test_package_reexports_the_facade():
+    assert repro.run is run
+    assert repro.sweep is sweep
+    assert repro.audit is audit
+    assert repro.RunOptions is RunOptions
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_run_accepts_name_spec_and_built_scenario():
+    by_name = run("NoPrices", "tiny")
+    assert isinstance(by_name, RunReport)
+    assert by_name.scheme == "NoPrices"
+    assert by_name.trace_path is None
+    by_spec = run("NoPrices", ScenarioSpec.of("tiny"))
+    by_built = run("NoPrices", tiny_scenario())
+    assert by_name.summary == by_spec.summary == by_built.summary
+    assert "welfare" in by_name.summary
+
+
+def test_run_rejects_unknown_scenario_kinds():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        run("NoPrices", "gigantic")
+    with pytest.raises(TypeError, match="cannot interpret"):
+        run("NoPrices", 42)
+
+
+def test_run_sweep_audit_compose(tmp_path):
+    trace = tmp_path / "sweep.jsonl"
+    result = sweep({"schemes": ["Pretium", "NoPrices"],
+                    "scenarios": ["tiny"], "seeds": [0]},
+                   options=RunOptions(workers=2, telemetry=trace))
+    assert result.ok
+    assert result.trace_path == str(trace)
+
+    report = audit(trace)
+    assert isinstance(report, AuditReport)
+    assert report.ok
+    assert report.unwaived == []
+    assert report.n_events > 0
+
+    # audit also accepts pre-loaded events
+    from repro.telemetry import read_trace
+    assert audit(read_trace(trace)).ok
+
+
+def test_sweep_rejects_unknown_grid_keys():
+    with pytest.raises(TypeError, match="'scheme'"):
+        sweep({"scheme": ["Pretium"]})
+    with pytest.raises(TypeError, match="cannot interpret"):
+        sweep(["Pretium"])
+
+
+def test_run_with_trace_reports_its_path(tmp_path):
+    trace = tmp_path / "run.jsonl"
+    report = run("Pretium", "tiny",
+                 options=RunOptions(telemetry=trace))
+    assert report.trace_path == str(trace)
+    assert trace.exists()
+    assert audit(trace, summary=report.summary).ok

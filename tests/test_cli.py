@@ -247,3 +247,80 @@ def test_telemetry_subcommands_reject_bad_trace(tmp_path, capsys):
         with pytest.warns(UserWarning, match="corrupt trace line"):
             assert main(args) == 1, sub
         assert "not a JSONL trace" in capsys.readouterr().err
+
+
+# -- sweep subcommand ---------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def swept(tmp_path_factory):
+    """One 2-worker CLI sweep shared by the sweep-command tests."""
+    tmp_path = tmp_path_factory.mktemp("swept")
+    trace_path = tmp_path / "sweep.jsonl"
+    out_path = tmp_path / "summaries.json"
+    code = main(["sweep", "--schemes", "Pretium,NoPrices", "--scenario",
+                 "tiny", "--seeds", "0,1", "--workers", "2",
+                 "--telemetry", str(trace_path), "--out", str(out_path)])
+    assert code == 0
+    return trace_path, out_path
+
+
+def test_sweep_prints_cell_table_and_writes_outputs(swept, capsys):
+    trace_path, out_path = swept
+    records = json.loads(out_path.read_text())
+    assert len(records) == 4
+    assert {r["scheme"] for r in records} == {"Pretium", "NoPrices"}
+    assert all(r["ok"] and "welfare" in r for r in records)
+    assert trace_path.exists()
+
+
+def test_sweep_merged_trace_audits_clean(swept, capsys):
+    trace_path, _ = swept
+    capsys.readouterr()
+    assert main(["telemetry", "audit", str(trace_path)]) == 0
+    assert "audit clean" in capsys.readouterr().out
+
+
+def test_sweep_timeline_cell_filter(swept, capsys):
+    trace_path, _ = swept
+    capsys.readouterr()
+    assert main(["telemetry", "timeline", str(trace_path), "0",
+                 "--cell", "0"]) == 0
+    assert "request 0" in capsys.readouterr().out
+    assert main(["telemetry", "timeline", str(trace_path), "0",
+                 "--cell", "99"]) == 1
+    assert "cell 99" in capsys.readouterr().err
+
+
+def test_sweep_rejects_bad_grids(capsys):
+    assert main(["sweep", "--schemes", "Gurobi"]) == 2
+    assert "unknown scheme" in capsys.readouterr().err
+    assert main(["sweep", "--schemes", "Pretium", "--seeds", "x"]) == 2
+    assert "invalid seed list" in capsys.readouterr().err
+    assert main(["sweep", "--schemes", "Pretium", "--faults", "zap"]) == 2
+    assert "fault" in capsys.readouterr().err
+
+
+def test_sweep_reports_cell_failures(tmp_path, capsys, monkeypatch):
+    # Force one scheme to crash inside its cell via a bad kwarg spec.
+    from repro.experiments import runner as runner_module
+    from repro.experiments.runner import SCHEME_SPECS
+    broken = SCHEME_SPECS["NoPrices"].with_kwargs(explode=True)
+    monkeypatch.setitem(runner_module.SCHEME_SPECS, "NoPrices", broken)
+    code = main(["sweep", "--schemes", "NoPrices,OPT", "--scenario",
+                 "tiny"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "FAILED: TypeError" in captured.out
+    assert "1 failed" in captured.out
+    assert "explode" in captured.err
+
+
+def test_run_accepts_workers_and_knob_flags(tmp_path, capsys):
+    wl_path = tmp_path / "wl.json"
+    main(["generate-workload", "--out", str(wl_path), "--nodes", "8",
+          "--days", "1", "--steps-per-day", "6", "--seed", "1"])
+    capsys.readouterr()
+    assert main(["run", "--scheme", "Pretium", "--workload", str(wl_path),
+                 "--workers", "2", "--quote-path", "scan",
+                 "--solver-retries", "1"]) == 0
+    assert "welfare" in capsys.readouterr().out
