@@ -1,0 +1,104 @@
+"""Perf benchmark: the live admission service, warm cache vs cold.
+
+Replays a scenario's arrival stream through :func:`repro.serve` twice —
+with the warm menu cache (each admission preceded by price-check probes
+that re-quote the same request, the pattern a live customer comparing
+windows produces) and fully cold (``cache_size=0``, every probe re-runs
+the greedy) — and asserts the two runs make **identical admit/reject
+decisions** (the cache serves bit-identical menus or nothing).  The
+recorded JSON (rolled into ``BENCH_PERF.json``) reports quotes/sec and
+p50/p99 end-to-end quote latency for both runs plus the measured
+``warm_speedup`` (cold wall / warm wall).
+
+Timings are recorded, never gated (CI fails on crash, not slowness).
+Scale with ``BENCH_PERF_SCALE=small|medium`` (CI uses ``small``).
+"""
+
+import os
+
+import repro
+from repro.service import generate_load
+from repro.telemetry import get_registry, use_registry
+
+SCALES = {
+    "small": dict(scenario="tiny", seed=0, price_checks=4),
+    "medium": dict(scenario="quick", seed=0, price_checks=4),
+}
+
+
+def run_service(scenario, requests, price_checks, cache_size):
+    """One full service lifetime under synthetic load, fresh registry."""
+    with use_registry():
+        with repro.serve(
+                "Pretium", scenario,
+                service_options=repro.ServiceOptions(
+                    cache_size=cache_size)) as svc:
+            report = generate_load(svc.service, requests,
+                                   price_checks=price_checks)
+            decisions = list(svc.engine.decisions)
+            svc.close()
+        registry = get_registry()
+        cache = {name: registry.counter(f"service.menu_cache.{name}").value
+                 for name in ("hits", "misses", "invalidations")}
+    return report, decisions, cache
+
+
+def _stats(report, cache):
+    latency = report.latency_ms
+    return {
+        "quotes_per_s": report.quotes_per_s,
+        "wall_s": report.wall_s,
+        "latency_p50_ms": latency.get("p50"),
+        "latency_p99_ms": latency.get("p99"),
+        "cache": cache,
+    }
+
+
+def bench_perf_service(benchmark, record):
+    scale_name = os.environ.get("BENCH_PERF_SCALE", "medium")
+    scale = SCALES[scale_name]
+    spec = repro.ScenarioSpec.of(scale["scenario"])
+    checks = scale["price_checks"]
+
+    def build():
+        scenario = spec.build(seed=scale["seed"])
+        requests = sorted(scenario.workload.requests,
+                          key=lambda r: (r.arrival, r.rid))
+        return scenario, requests
+
+    scenario, requests = build()
+    warm_report, warm_decisions, warm_cache = benchmark.pedantic(
+        run_service, args=(scenario, requests, checks, 1024),
+        rounds=1, iterations=1)
+    scenario, requests = build()
+    cold_report, cold_decisions, cold_cache = run_service(
+        scenario, requests, checks, 0)
+
+    assert warm_decisions == cold_decisions, \
+        "warm cache changed admission decisions"
+    assert warm_report.errors == 0 and cold_report.errors == 0
+    assert warm_cache["hits"] > 0, "warm run produced no cache hits"
+
+    result = {
+        "scale": scale_name,
+        "scenario": scale["scenario"],
+        "n_requests": len(requests),
+        "price_checks_per_request": checks,
+        "admitted": warm_report.admitted,
+        "rejected": warm_report.rejected,
+        "warm": _stats(warm_report, warm_cache),
+        "cold": _stats(cold_report, cold_cache),
+        "quotes_per_s": warm_report.quotes_per_s,
+        "latency_p50_ms": warm_report.latency_ms.get("p50"),
+        "latency_p99_ms": warm_report.latency_ms.get("p99"),
+        "warm_speedup": cold_report.wall_s / warm_report.wall_s,
+    }
+    record(result)
+    print(f"\nservice ({scale_name}, {len(requests)} requests x "
+          f"{1 + checks} quotes): warm {warm_report.quotes_per_s:.0f} q/s "
+          f"(p50 {result['latency_p50_ms']:.2f} ms, "
+          f"p99 {result['latency_p99_ms']:.2f} ms, "
+          f"{warm_cache['hits']} hits), cold "
+          f"{cold_report.quotes_per_s:.0f} q/s -> "
+          f"{result['warm_speedup']:.2f}x warm speedup, "
+          "decisions identical")

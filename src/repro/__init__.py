@@ -18,17 +18,23 @@ engineering for inter-datacenter transfers.  The top-level subpackages are:
   figure/table in the paper's evaluation.
 - :mod:`repro.telemetry` -- structured tracing, metrics and solver
   instrumentation (spans, counters, streaming histograms, JSONL traces).
+- :mod:`repro.service` -- the online admission service: a long-lived
+  event loop streaming live arrivals through the same RA/SAM/PC
+  machinery, with warm menu caches, micro-batching and backpressure.
 - :mod:`repro.api` -- the stable high-level facade: :func:`repro.run`,
-  :func:`repro.sweep` and :func:`repro.audit` with typed results, plus
-  :class:`repro.RunOptions` for every run-level knob.
+  :func:`repro.sweep`, :func:`repro.audit` and :func:`repro.serve` with
+  typed results, plus :class:`repro.RunOptions` /
+  :class:`repro.ServiceOptions` for every knob.
 """
 
 from .api import (AuditReport, RunOptions, RunReport, ScenarioSpec,
-                  SchemeSpec, SweepGrid, SweepResult, audit, run, sweep)
+                  SchemeSpec, ServiceHandle, ServiceOptions, SweepGrid,
+                  SweepResult, audit, run, serve, sweep)
 
 __all__ = [
     "AuditReport", "RunOptions", "RunReport", "ScenarioSpec", "SchemeSpec",
-    "SweepGrid", "SweepResult", "api", "audit", "run", "sweep",
+    "ServiceHandle", "ServiceOptions", "SweepGrid", "SweepResult", "api",
+    "audit", "run", "serve", "sweep",
 ]
 
 __version__ = "1.0.0"

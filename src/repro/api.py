@@ -1,6 +1,6 @@
-"""The stable high-level facade: ``run``, ``sweep``, ``audit``.
+"""The stable high-level facade: ``run``, ``sweep``, ``audit``, ``serve``.
 
-Everything an evaluation needs, behind three calls::
+Everything an evaluation needs, behind a handful of calls::
 
     import repro
 
@@ -14,6 +14,9 @@ Everything an evaluation needs, behind three calls::
 
     assert repro.audit("run.jsonl").ok
 
+    with repro.serve("Pretium", "tiny") as svc:        # live admission
+        decision = svc.submit(request).result()
+
 The CLI subcommands are thin wrappers over these functions, and the
 lower layers (:mod:`repro.experiments.runner`,
 :mod:`repro.experiments.sweep`, :mod:`repro.telemetry`) remain public
@@ -24,23 +27,25 @@ the layers underneath evolve.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
 
-from .experiments.runner import SchemeSpec, run_scheme
+from .experiments.runner import SchemeSpec, run_scheme, scheme_spec
 from .experiments.scenarios import (SCENARIO_BUILDERS, Scenario,
                                     ScenarioSpec)
 from .experiments.sweep import (CellResult, SweepCell, SweepGrid,
                                 SweepResult, run_sweep)
-from .options import RunOptions
+from .options import RunOptions, ServiceOptions, run_context
 from .sim import RunResult, summarize
 from .telemetry import Finding, audit_events, read_trace, unwaived
 
 __all__ = [
     "AuditReport", "CellResult", "RunOptions", "RunReport", "Scenario",
-    "ScenarioSpec", "SchemeSpec", "SweepCell", "SweepGrid", "SweepResult",
-    "audit", "run", "sweep",
+    "ScenarioSpec", "SchemeSpec", "ServiceHandle", "ServiceOptions",
+    "SweepCell", "SweepGrid", "SweepResult", "audit", "run", "serve",
+    "sweep",
 ]
 
 
@@ -154,3 +159,98 @@ def audit(trace, *, summary: dict | None = None) -> AuditReport:
         events = list(trace)
     return AuditReport(findings=audit_events(events, summary=summary),
                        n_events=len(events))
+
+
+class ServiceHandle:
+    """A started live admission service, with its run environment scoped.
+
+    Created by :func:`serve`; a context manager.  Submission methods
+    (:meth:`submit`, :meth:`price_check`) delegate to the underlying
+    :class:`~repro.service.AdmissionService`; :meth:`close` (or the
+    ``with`` exit) drains the service, settles every contract, tears
+    down the telemetry environment, and leaves the final
+    :class:`~repro.sim.engine.RunResult` in ``result``.
+    """
+
+    def __init__(self, service, scenario: Scenario, options: RunOptions,
+                 stack: ExitStack) -> None:
+        self.service = service
+        self.scenario = scenario
+        self.options = options
+        self._stack = stack
+        self.result: RunResult | None = None
+
+    # -- delegation ----------------------------------------------------------
+    def submit(self, request, step=None, **kwargs):
+        return self.service.submit(request, step, **kwargs)
+
+    def price_check(self, request, step=None, **kwargs):
+        return self.service.price_check(request, step, **kwargs)
+
+    @property
+    def engine(self):
+        return self.service.engine
+
+    @property
+    def running(self) -> bool:
+        return self.service.running
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> RunResult:
+        """Stop the service and settle; idempotent."""
+        if self.result is None:
+            try:
+                self.result = self.service.stop()
+            finally:
+                # The environment closes after the service: RUN_ENDED and
+                # the metrics snapshot must land in the trace first.
+                self._stack.close()
+        return self.result
+
+    def summary(self) -> dict:
+        """``summarize()`` record of the (closed) service's run."""
+        return summarize(self.close(), self.scenario.cost_model)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve(scheme, scenario, *, options: RunOptions | None = None,
+          service_options: ServiceOptions | None = None) -> ServiceHandle:
+    """Start a live admission service for ``scheme`` on ``scenario``.
+
+    The scenario contributes the world being priced — topology, horizon,
+    steps per day (its workload's requests are *not* pre-loaded; they
+    make a convenient replay stream for the load generator).  ``options``
+    scopes the same run environment :func:`run` would (fault injector,
+    telemetry trace) for the **lifetime of the service**;
+    ``service_options`` shapes the event loop — micro-batch window, menu
+    cache size, quote deadline budget, backpressure bound
+    (:class:`~repro.options.ServiceOptions`).
+
+    Returns a started :class:`ServiceHandle` (use as a context manager).
+    """
+    from .service import AdmissionEngine, AdmissionService
+
+    options = options or RunOptions()
+    service_options = service_options or ServiceOptions()
+    scenario = _as_scenario(scenario)
+    workload = scenario.workload
+    stack = ExitStack()
+    try:
+        stack.enter_context(run_context(options))
+        if isinstance(scheme, (str, SchemeSpec)):
+            scheme = scheme_spec(scheme).build(options)
+        engine = AdmissionEngine(
+            scheme, workload.topology, n_steps=workload.n_steps,
+            steps_per_day=workload.steps_per_day, options=service_options,
+            load_factor=workload.load_factor,
+            description=f"service:{workload.description}")
+        service = AdmissionService(engine, service_options).start()
+    except BaseException:
+        stack.close()
+        raise
+    return ServiceHandle(service, scenario, options, stack)

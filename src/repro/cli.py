@@ -12,6 +12,10 @@ Commands
     Run a scheme × scenario × seed grid, optionally across worker
     processes (``--workers``), with per-cell results, an optional merged
     audit-ready telemetry trace, and a live progress line.
+``serve``
+    Start the live admission service and drive it with the synthetic
+    open-loop load generator; prints quotes/sec, latency percentiles
+    and the menu-cache hit counters.
 ``figure``
     Regenerate one of the paper's figures/tables and print its rows.
 ``list-schemes``
@@ -36,6 +40,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import inspect
 import json
 import os
@@ -146,6 +151,44 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(JSON) here")
     _add_knob_flags(swp)
 
+    srv = sub.add_parser("serve", help="run the live admission service "
+                                       "under synthetic open-loop load")
+    srv.add_argument("--scheme", default="Pretium",
+                     choices=sorted(SCHEME_FACTORIES))
+    srv.add_argument("--scenario", default="tiny",
+                     choices=sorted(SCENARIO_BUILDERS),
+                     help="world to price (topology/horizon) and the "
+                          "arrival stream the load generator replays")
+    srv.add_argument("--seed", type=int, default=0,
+                     help="scenario seed (drives the arrival stream)")
+    srv.add_argument("--rate", type=float, default=0.0, metavar="R",
+                     help="offered load, requests/second of wall clock "
+                          "(0 = as fast as backpressure admits)")
+    srv.add_argument("--price-checks", type=int, default=0, metavar="N",
+                     help="advisory quote probes per request (warm-cache "
+                          "candidates after the first)")
+    srv.add_argument("--batch-window", type=float, default=0.0,
+                     metavar="SECS", help="micro-batch collection window")
+    srv.add_argument("--batch-max", type=int, default=64, metavar="N",
+                     help="max submissions per micro-batch")
+    srv.add_argument("--cache-size", type=int, default=1024, metavar="N",
+                     help="warm menu-cache entries (0 = cold quoting)")
+    srv.add_argument("--quote-deadline", type=float, metavar="SECS",
+                     help="per-request quote latency budget; spent "
+                          "budgets degrade to current-price menus")
+    srv.add_argument("--max-pending", type=int, default=1024, metavar="N",
+                     help="backpressure bound on in-flight submissions")
+    srv.add_argument("--telemetry", metavar="PATH",
+                     help="write a JSONL trace of the service run "
+                          "(audit-ready: the books balance)")
+    srv.add_argument("--faults", metavar="SPEC",
+                     help="fault-injection spec (same syntax as "
+                          "run --faults)")
+    srv.add_argument("--fault-seed", type=int, default=0)
+    srv.add_argument("--out", help="write the load report + summary "
+                                   "JSON here")
+    _add_knob_flags(srv)
+
     fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig.add_argument("id", choices=sorted(FIGURES),
                      help="figure number or 'table4'")
@@ -207,7 +250,7 @@ def _options_from_args(args) -> RunOptions:
         lp_builder=args.lp_builder, quote_path=args.quote_path,
         solver_retries=args.solver_retries, faults=args.faults,
         fault_seed=args.fault_seed, telemetry=args.telemetry,
-        workers=args.workers)
+        workers=getattr(args, "workers", 1))
 
 
 def _parse_csv(raw: str, kind, what: str) -> list:
@@ -312,6 +355,60 @@ def _cmd_sweep(args) -> int:
         print(f"cell {cell.index} ({cell.label}) failed: {cell.error}: "
               f"{cell.detail}", file=sys.stderr)
     return 1 if result.failures else 0
+
+
+def _cmd_serve(args) -> int:
+    from .options import ServiceOptions
+    from .service import generate_load
+    from .telemetry import get_registry
+
+    try:
+        options = _options_from_args(args)
+        service_options = ServiceOptions(
+            batch_window=args.batch_window, batch_max=args.batch_max,
+            cache_size=args.cache_size, quote_deadline=args.quote_deadline,
+            max_pending=args.max_pending)
+    except (FaultSpecError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    scenario = ScenarioSpec.of(args.scenario).build(seed=args.seed)
+    requests = sorted(scenario.workload.requests,
+                      key=lambda r: (r.arrival, r.rid))
+    print(f"serving {args.scheme} on {args.scenario} (seed {args.seed}): "
+          f"{len(requests)} requests, rate="
+          f"{'max' if args.rate <= 0 else args.rate}, "
+          f"price_checks={args.price_checks}")
+    with api.serve(args.scheme, scenario, options=options,
+                   service_options=service_options) as svc:
+        report = generate_load(svc.service, requests, rate=args.rate,
+                               price_checks=args.price_checks)
+        cache = {name: metric.value
+                 for name, metric in [
+                     (n, get_registry().counter(n)) for n in
+                     ("service.menu_cache.hits",
+                      "service.menu_cache.misses",
+                      "service.menu_cache.invalidations")]}
+        summary = svc.summary()
+    rows = [[key, value] for key, value in report.as_dict().items()
+            if isinstance(value, (int, float))]
+    rows += [[f"cache_{key.rsplit('.', 1)[1]}", value]
+             for key, value in cache.items()]
+    latency = report.latency_ms
+    rows += [[f"latency_{key}_ms", f"{value:.3f}"]
+             for key, value in latency.items()]
+    print(format_table(["metric", "value"], rows))
+    print(f"welfare {summary['welfare']:.2f}, payments "
+          f"{summary['payments']:.2f} over {summary['n_requests']} requests")
+    if args.telemetry:
+        print(f"telemetry trace written to {args.telemetry}")
+    if args.out:
+        payload = {"load": report.as_dict(), "cache": cache,
+                   "summary": summary,
+                   "service_options": dataclasses.asdict(service_options)}
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        print(f"service report written to {args.out}")
+    return 1 if report.errors else 0
 
 
 def _cmd_figure(args) -> int:
@@ -443,6 +540,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "list-schemes":

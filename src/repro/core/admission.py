@@ -105,10 +105,26 @@ class Contract:
 
 
 class RequestAdmission:
-    """The RA module: quoting, user contracting, preliminary scheduling."""
+    """The RA module: quoting, user contracting, preliminary scheduling.
 
-    def __init__(self, state: NetworkState) -> None:
+    ``cache`` is an optional warm menu cache (the admission service's
+    :class:`~repro.service.cache.MenuCache`): quoting is a pure function
+    of the network state along the involved links, so a cache hit returns
+    exactly the menu a fresh greedy would build.  ``quote_budget`` is an
+    optional zero-argument callable returning the remaining per-request
+    latency budget in seconds (see
+    :class:`~repro.faults.resilience.DeadlineBudget`); when it reports an
+    exhausted budget, :meth:`quote` raises
+    :class:`~repro.faults.resilience.QuoteBudgetExceeded` *before* doing
+    any expensive work, which the controller degrades into a
+    current-price menu.  Both hooks default to off, so batch simulation
+    is unaffected.
+    """
+
+    def __init__(self, state: NetworkState, cache=None) -> None:
         self.state = state
+        self.cache = cache
+        self.quote_budget = None
 
     # -- quoting --------------------------------------------------------
     def quote(self, request: ByteRequest, now: int) -> PriceMenu:
@@ -123,11 +139,29 @@ class RequestAdmission:
 
         Dispatches on ``config.quote_path``: the heap-based fast path
         (:mod:`repro.core.quote_fast`) by default, or the reference
-        full-rescan greedy — both produce the same menu.
+        full-rescan greedy — both produce the same menu.  A configured
+        warm menu cache is consulted first (hits skip the greedy and the
+        budget check entirely); a configured quote budget that is already
+        spent raises :class:`QuoteBudgetExceeded` instead of quoting.
         """
+        cache = self.cache
+        if cache is not None:
+            cached = cache.get(request, now)
+            if cached is not None:
+                return cached
+        budget = self.quote_budget
+        if budget is not None and budget() <= 0.0:
+            from ..faults.resilience import QuoteBudgetExceeded
+            raise QuoteBudgetExceeded(
+                f"request {request.rid}: quote latency budget exhausted "
+                "before quoting started")
         if self.state.config.quote_path == "heap":
-            return quote_heap(self.state, request, now)
-        return self.quote_reference(request, now)
+            menu = quote_heap(self.state, request, now)
+        else:
+            menu = self.quote_reference(request, now)
+        if cache is not None:
+            cache.put(request, now, menu)
+        return menu
 
     def quote_reference(self, request: ByteRequest, now: int) -> PriceMenu:
         """The reference O(routes x window) rescan-per-segment greedy."""

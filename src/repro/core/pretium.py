@@ -69,6 +69,10 @@ class PretiumController:
         self.price_updates: int = 0
         #: Structured degradation events, in order (see _record_degradation).
         self.failure_events: list[dict] = []
+        #: Optional warm menu cache (set by the admission service before
+        #: :meth:`begin`); bound to the fresh NetworkState at begin time
+        #: and handed to the RA so quotes consult it transparently.
+        self.menu_cache = None
 
     # -- protocol ----------------------------------------------------------
     def begin(self, workload) -> None:
@@ -91,7 +95,9 @@ class PretiumController:
             # None here means "resolve the process-wide injector at call
             # time", so `run --faults` reaches config-less controllers too.
             self.injector = None
-        self.admission = RequestAdmission(self.state)
+        if self.menu_cache is not None:
+            self.menu_cache.bind(self.state)
+        self.admission = RequestAdmission(self.state, cache=self.menu_cache)
         self.sam = ScheduleAdjuster(self.state, workload.steps_per_day,
                                     injector=self.injector)
         self.pricer = PriceComputer(self.state, workload.steps_per_day,

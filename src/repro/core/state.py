@@ -55,6 +55,15 @@ class NetworkState:
         #: rid -> {(link_indices, timestep): volume} backing each guarantee.
         self.plan: dict[int, dict[tuple[tuple[int, ...], int], float]] = {}
 
+        #: Per-link monotone version counters, bumped whenever anything a
+        #: quote depends on changes on that link (reservations, prices,
+        #: capacity).  The admission service's warm menu cache tags each
+        #: cached menu with the versions of its involved links; a bumped
+        #: link invalidates every cached menu routed over it.  Direct
+        #: writes to ``capacity``/``prices``/``reserved`` arrays bypass
+        #: this clock — mutate through the methods below instead.
+        self.link_versions = np.zeros(topology.num_links, dtype=np.int64)
+
     # -- capacity ------------------------------------------------------
     def residual(self, t: int) -> np.ndarray:
         """Unreserved usable capacity on every link at timestep ``t``."""
@@ -75,12 +84,14 @@ class NetworkState:
         link = self.topology.link_between(src, dst)
         end = self.n_steps if end is None else end
         self.capacity[start:end, link.index] = 1e-9
+        self.link_versions[link.index] += 1
 
     def set_highpri_usage(self, t: int, link_index: int,
                           volume: float) -> None:
         """Reduce usable capacity at (t, e) by an ad-hoc high-pri burst."""
         base = self.topology.link(link_index).capacity
         self.capacity[t, link_index] = max(0.0, base - volume)
+        self.link_versions[link_index] += 1
 
     # -- segment pricing (§4.1 short-term adjustment) --------------------
     def price_segments(self, link_index: int, t: int,
@@ -156,6 +167,7 @@ class NetworkState:
             tuple(path)
         for index in indices:
             self.reserved[t, index] += volume
+            self.link_versions[index] += 1
         bucket = self.plan.setdefault(rid, {})
         key = (indices, t)
         bucket[key] = bucket.get(key, 0.0) + volume
@@ -169,6 +181,7 @@ class NetworkState:
             if t >= from_step:
                 for index in indices:
                     self.reserved[t, index] -= volume
+                    self.link_versions[index] += 1
                 del bucket[(indices, t)]
         if not bucket:
             self.plan.pop(rid, None)
@@ -200,4 +213,9 @@ class NetworkState:
         if span <= 0:
             return
         repeats = -(-span // window)  # ceil division
-        self.prices[start:] = np.tile(tiled, (repeats, 1))[:span]
+        incoming = np.tile(tiled, (repeats, 1))[:span]
+        changed = np.any(self.prices[start:] != incoming, axis=0)
+        self.prices[start:] = incoming
+        # A price update invalidates cached menus only on links whose
+        # price actually moved; untouched links keep their warm entries.
+        self.link_versions[changed] += 1

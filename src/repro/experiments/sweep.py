@@ -215,7 +215,11 @@ def run_cell(cell: SweepCell, options: RunOptions | None = None,
             telemetry=trace_path, workers=1,
             trace_tags=(("cell", cell.index), ("worker", pid)))
     else:
-        cell_options = cell_options.replace(telemetry=None, workers=1)
+        # No sink configured: no shard path is derived and no shard file
+        # is ever created — the cell runs with telemetry off and
+        # run_context() short-circuits past the tracer machinery.
+        cell_options = cell_options.replace(telemetry=None, workers=1,
+                                            trace_tags=())
     try:
         scenario = cell.scenario.build(seed=cell.seed)
         result = run_scheme(cell.scheme, scenario, options=cell_options)

@@ -22,10 +22,12 @@ complete (``RunResult.extras["failures"]``).
 from .injector import (KINDS, MODULES, FaultInjector, FaultRule,
                        FaultSpecError, get_injector, is_injected,
                        parse_fault_spec, set_injector, use_injector)
-from .resilience import MAX_BACKOFF, RetryPolicy, resilient_solve
+from .resilience import (MAX_BACKOFF, DeadlineBudget, QuoteBudgetExceeded,
+                         RetryPolicy, resilient_solve)
 
 __all__ = [
-    "FaultInjector", "FaultRule", "FaultSpecError", "KINDS", "MAX_BACKOFF",
-    "MODULES", "RetryPolicy", "get_injector", "is_injected",
-    "parse_fault_spec", "resilient_solve", "set_injector", "use_injector",
+    "DeadlineBudget", "FaultInjector", "FaultRule", "FaultSpecError",
+    "KINDS", "MAX_BACKOFF", "MODULES", "QuoteBudgetExceeded", "RetryPolicy",
+    "get_injector", "is_injected", "parse_fault_spec", "resilient_solve",
+    "set_injector", "use_injector",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..lp.errors import SolverError
+from ..lp.errors import LPError, SolverError
 from ..lp.solver import Solution, solve_model
 from ..telemetry import get_registry, get_tracer
 from .injector import FaultInjector, get_injector
@@ -30,6 +30,41 @@ from .injector import FaultInjector, get_injector
 #: Upper bound on one backoff sleep, seconds (keeps a misconfigured
 #: exponential from stalling a simulation).
 MAX_BACKOFF = 1.0
+
+
+class QuoteBudgetExceeded(LPError):
+    """A quote's per-request latency budget ran out before it started.
+
+    Raised by the admission interface when the service's quote deadline
+    (see :class:`~repro.options.ServiceOptions`) is already spent by the
+    time the request is dequeued.  Subclassing :class:`LPError` routes it
+    through the exact degradation path a quoting fault takes: the
+    controller catches it and serves the conservative current-price menu
+    instead of blocking the event loop on a full greedy quote.
+    """
+
+
+@dataclass(frozen=True)
+class DeadlineBudget:
+    """A wall-clock budget for one unit of latency-bounded work.
+
+    ``started`` is a :func:`time.perf_counter` timestamp; ``budget`` is
+    in seconds.  The admission service hands the ``remaining`` method to
+    the quoting layer, which checks it before starting expensive work —
+    so a request that waited out its budget in the queue degrades
+    immediately instead of adding a full quote on top of the overrun.
+    """
+
+    started: float
+    budget: float
+
+    def remaining(self) -> float:
+        """Seconds left before the budget is exhausted (may be < 0)."""
+        return self.budget - (time.perf_counter() - self.started)
+
+    @property
+    def exceeded(self) -> bool:
+        return self.remaining() <= 0.0
 
 
 @dataclass(frozen=True)

@@ -119,6 +119,63 @@ class RunOptions:
         return dataclasses.replace(self, **changes)
 
 
+@dataclass(frozen=True)
+class ServiceOptions:
+    """Every live-service knob, in one typed, picklable bundle.
+
+    The :class:`RunOptions` analogue for the online admission service
+    (:mod:`repro.service`): where :class:`RunOptions` scopes one batch
+    run, :class:`ServiceOptions` shapes the long-lived event loop that
+    streams arrivals through the same machinery.
+
+    Attributes
+    ----------
+    batch_window:
+        Micro-batch window, seconds: after the first queued submission is
+        picked up, the loop lingers this long collecting an arrival burst
+        and admits the whole batch between SAM/PC timestep ticks.  ``0``
+        processes submissions one by one (lowest latency, least
+        amortisation).
+    batch_max:
+        Hard cap on submissions per micro-batch, so a flood cannot starve
+        the tick that follows the batch.
+    cache_size:
+        Warm menu-cache capacity (entries), shared across all (src, dst)
+        pairs; ``0`` disables caching entirely (every quote is cold).
+    quote_deadline:
+        Per-request quote latency budget, seconds.  A request whose
+        budget is spent before quoting starts degrades to the
+        current-price menu (never blocks the loop); ``None`` disables
+        deadline enforcement.
+    max_pending:
+        Backpressure bound: submissions in flight (queued or being
+        processed) beyond this block the submitting thread until the
+        loop drains, or fail fast when the caller asked not to wait.
+    """
+
+    batch_window: float = 0.0
+    batch_max: int = 64
+    cache_size: int = 1024
+    quote_deadline: float | None = None
+    max_pending: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if self.quote_deadline is not None and self.quote_deadline <= 0:
+            raise ValueError("quote_deadline must be positive")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+
+    def replace(self, **changes) -> "ServiceOptions":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+
 @dataclass
 class RunEnvironment:
     """What :func:`run_context` scoped for the duration of a run."""
@@ -169,7 +226,11 @@ def run_context(options: RunOptions | None):
     empty environment and changes no process state.
     """
     env = RunEnvironment()
-    if options is None:
+    if options is None or (options.faults is None
+                           and options.telemetry is None):
+        # Nothing to install: skip the telemetry machinery entirely.
+        # Sweeps hit this once per cell when no sink is configured, so
+        # the no-telemetry path must not pay for imports or scope setup.
         yield env
         return
     from .telemetry import TagSink, TraceWriter, Tracer, use_registry, \

@@ -154,8 +154,8 @@ def _simulate(scheme, workload: Workload) -> RunResult:
     for request in workload.requests:
         arrivals[request.arrival].append(request)
 
-    capacity = _capacity_view(scheme, workload)
-    window = _window_of(scheme, workload)
+    capacity = capacity_view(scheme, workload)
+    window = window_of(scheme, workload)
     state = getattr(scheme, "state", None)
     #: Per-(t, link) prices for pricing ALLOCATED ledger events; schemes
     #: without a NetworkState get unpriced allocations.
@@ -185,7 +185,7 @@ def _simulate(scheme, workload: Workload) -> RunResult:
                         scheme.window_start(t)
                     except LPError as exc:
                         span.set(degraded=True, error=type(exc).__name__)
-                        _record_failure(failures, "pc", t, exc)
+                        record_failure(failures, "pc", t, exc)
                 if span.duration > 0:
                     runtimes.pc.append(span.duration)
             else:
@@ -194,7 +194,7 @@ def _simulate(scheme, workload: Workload) -> RunResult:
                 try:
                     scheme.window_start(t)
                 except LPError as exc:
-                    _record_failure(failures, "pc", t, exc)
+                    record_failure(failures, "pc", t, exc)
 
             for request in arrivals.get(t, []):
                 if tracer.enabled:
@@ -210,7 +210,7 @@ def _simulate(scheme, workload: Workload) -> RunResult:
                         scheme.arrival(request, t)
                     except LPError as exc:
                         span.set(degraded=True, error=type(exc).__name__)
-                        _record_failure(failures, "ra", t, exc,
+                        record_failure(failures, "ra", t, exc,
                                         rid=request.rid)
                 runtimes.ra.append(span.duration)
 
@@ -219,15 +219,15 @@ def _simulate(scheme, workload: Workload) -> RunResult:
                     transmissions = scheme.step(t, dict(delivered), loads)
                 except LPError as exc:
                     span.set(degraded=True, error=type(exc).__name__)
-                    _record_failure(failures, "sam", t, exc)
+                    record_failure(failures, "sam", t, exc)
                     transmissions = []
                 span.set(n_transmissions=len(transmissions))
             runtimes.sam.append(span.duration)
 
-            _apply(transmissions, t, loads, delivered, capacity,
+            apply_transmissions(transmissions, t, loads, delivered, capacity,
                    delivery_log, prices=prices, emit=tracer.enabled)
 
-        payments = _settle(scheme, delivered, emit=tracer.enabled)
+        payments = settle_contracts(scheme, delivered, emit=tracer.enabled)
         chosen = {c.rid: c.chosen for c in getattr(scheme, "contracts", [])}
         run_span.set(delivered=float(sum(delivered.values())),
                      n_contracts=len(chosen), n_failures=len(failures))
@@ -253,7 +253,7 @@ def _simulate(scheme, workload: Workload) -> RunResult:
                      delivery_log=dict(delivery_log))
 
 
-def _record_failure(failures: list[FailureEvent], module: str, t: int,
+def record_failure(failures: list[FailureEvent], module: str, t: int,
                     exc: BaseException, rid: int | None = None) -> None:
     """Append a structured failure event and bump the engine counters."""
     failures.append(FailureEvent(module=module, step=t,
@@ -269,13 +269,13 @@ def _record_failure(failures: list[FailureEvent], module: str, t: int,
                      "error": type(exc).__name__})
 
 
-def _window_of(scheme, workload: Workload) -> int:
+def window_of(scheme, workload: Workload) -> int:
     config = getattr(scheme, "config", None)
     return getattr(config, "window", workload.steps_per_day) or \
         workload.steps_per_day
 
 
-def _capacity_view(scheme, workload: Workload) -> np.ndarray:
+def capacity_view(scheme, workload: Workload) -> np.ndarray:
     """Per-(t, link) usable capacity to validate transmissions against."""
     state = getattr(scheme, "state", None)
     if state is not None:
@@ -284,7 +284,7 @@ def _capacity_view(scheme, workload: Workload) -> np.ndarray:
     return np.tile(caps, (workload.n_steps, 1))
 
 
-def _apply(transmissions, t: int, loads: np.ndarray,
+def apply_transmissions(transmissions, t: int, loads: np.ndarray,
            delivered: dict[int, float], capacity: np.ndarray,
            delivery_log: dict[int, list[tuple[int, float]]],
            prices: np.ndarray | None = None, emit: bool = False) -> None:
@@ -330,7 +330,7 @@ def _check_capacity(tx, t: int, loads: np.ndarray,
                 f"(adding volume {tx.volume:.6f})")
 
 
-def _settle(scheme, delivered: dict[int, float],
+def settle_contracts(scheme, delivered: dict[int, float],
             emit: bool = False) -> dict[int, float]:
     """Charge each contract for what was actually delivered.
 

@@ -183,6 +183,19 @@ def test_parallel_sweep_merges_shards_into_audit_clean_trace(tmp_path):
     assert unwaived(findings) == []
 
 
+def test_sweep_without_sink_writes_no_shard_files(tmp_path, monkeypatch):
+    """With no telemetry sink configured, no per-cell shard may ever be
+    created — not merged-and-removed, never written at all."""
+    monkeypatch.chdir(tmp_path)     # any stray shard would land here
+    grid = SweepGrid(schemes=["Pretium", "NoPrices"], scenarios=["tiny"],
+                     seeds=[0])
+    result = run_sweep(grid, options=RunOptions(workers=2))
+    assert result.ok
+    assert result.trace_path is None
+    assert all(cell.trace_path is None for cell in result.cells)
+    assert list(tmp_path.rglob("*.jsonl")) == []
+
+
 def test_legacy_flat_kwargs_still_work_with_warning():
     grid = SweepGrid(schemes=["NoPrices"], scenarios=["tiny"])
     with pytest.warns(DeprecationWarning, match="workers"):

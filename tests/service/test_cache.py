@@ -1,0 +1,196 @@
+"""Menu-cache correctness: version invalidation, LRU, never-stale.
+
+The load-bearing property: a cached menu is served only while every
+link its (src, dst) routes can touch is version-unchanged — so a PC
+price update on any cached path invalidates the entry, and a quote
+through the cache is always bit-identical to a cold quote.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PretiumController
+from repro.core.admission import RequestAdmission
+from repro.experiments.scenarios import tiny_scenario
+from repro.service import MenuCache
+from repro.telemetry import get_registry
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return tiny_scenario(seed=0)
+
+
+def fresh_controller(scenario, cache=None):
+    controller = PretiumController()
+    controller.menu_cache = cache
+    controller.begin(scenario.workload)
+    return controller
+
+
+def pick_request(scenario, index=0):
+    requests = [r for r in scenario.workload.requests if not r.scavenger]
+    return requests[index]
+
+
+def fingerprint(menu):
+    return (tuple(menu.breakpoints()), float(menu.max_guaranteed))
+
+
+# -- basic behaviour ----------------------------------------------------------
+
+def test_cache_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        MenuCache(0)
+
+
+def test_unbound_cache_refuses_lookups(scenario):
+    cache = MenuCache()
+    with pytest.raises(RuntimeError):
+        cache.get(pick_request(scenario), 0)
+
+
+def test_hit_returns_the_identical_menu_object(scenario):
+    controller = fresh_controller(scenario, MenuCache())
+    request = pick_request(scenario)
+    registry = get_registry()
+    hits = registry.counter("service.menu_cache.hits")
+    before = hits.value
+    first = controller.admission.quote(request, 0)
+    second = controller.admission.quote(request, 0)
+    assert second is first          # served from cache, not re-derived
+    assert hits.value == before + 1
+
+
+def test_key_folds_effective_start(scenario):
+    # Past its start step, a request re-quoted later keys differently:
+    # the quotable window shrank, so the menus are different objects.
+    request = pick_request(scenario)
+    assert MenuCache.key(request, request.start) != \
+        MenuCache.key(request, request.start + 1)
+    assert MenuCache.key(request, 0) == MenuCache.key(request, request.start)
+
+
+def test_reservation_on_involved_link_invalidates(scenario):
+    controller = fresh_controller(scenario, MenuCache())
+    cache = controller.menu_cache
+    request = pick_request(scenario)
+    menu = controller.admission.quote(request, 0)
+    links = cache._involved_links(request)
+    controller.state.reserve(10_000, (int(links[0]),), request.start, 1.0)
+    assert cache.get(request, 0) is None        # stale entry dropped
+    requote = controller.admission.quote(request, 0)
+    assert requote is not menu                  # re-derived, not served stale
+
+
+def test_lru_eviction_keeps_capacity_bounded(scenario):
+    controller = fresh_controller(scenario, MenuCache(max_entries=3))
+    cache = controller.menu_cache
+    requests = [pick_request(scenario, i) for i in range(5)]
+    for request in requests:
+        controller.admission.quote(request, 0)
+    assert len(cache) == 3
+    # the two oldest are gone, the three newest are present
+    assert MenuCache.key(requests[0], 0) not in cache
+    assert MenuCache.key(requests[1], 0) not in cache
+    for request in requests[2:]:
+        assert MenuCache.key(request, 0) in cache
+
+
+def test_bind_clears_previous_runs_entries(scenario):
+    cache = MenuCache()
+    controller = fresh_controller(scenario, cache)
+    controller.admission.quote(pick_request(scenario), 0)
+    assert len(cache) == 1
+    controller.begin(scenario.workload)     # re-binds the same cache
+    assert len(cache) == 0
+
+
+# -- satellite: price updates invalidate cached paths -------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(link_offset=st.integers(min_value=0, max_value=10_000),
+       factor=st.floats(min_value=1.1, max_value=10.0),
+       request_index=st.integers(min_value=0, max_value=7))
+def test_any_price_update_on_a_cached_path_invalidates(link_offset, factor,
+                                                       request_index):
+    """Property: after a PC-style price update touching any link of a
+    cached (src, dst) path, the entry is invalidated; either way the
+    next quote is bit-identical to a cold (cache-less) quote."""
+    scenario = tiny_scenario(seed=0)
+    controller = fresh_controller(scenario, MenuCache())
+    cache = controller.menu_cache
+    state = controller.state
+    request = pick_request(scenario, request_index)
+    now = 0
+    controller.admission.quote(request, now)
+    involved = set(int(i) for i in cache._involved_links(request))
+
+    # A price update exactly as the PC installs one: a (W, n_links)
+    # grid through set_prices, with one link's prices perturbed.
+    link = link_offset % state.topology.num_links
+    window = controller.config.window
+    new_prices = state.prices[:window].copy()
+    new_prices[:, link] *= factor
+    state.set_prices(0, new_prices)
+
+    entry = cache.get(request, now)
+    if link in involved:
+        assert entry is None, \
+            "price update on an involved link must invalidate the entry"
+    else:
+        assert entry is not None, \
+            "price update elsewhere must not evict unrelated entries"
+
+    served = controller.admission.quote(request, now)
+    cold = RequestAdmission(state).quote(request, now)
+    assert fingerprint(served) == fingerprint(cold)
+
+
+def test_stale_menu_never_served_across_price_update_tick():
+    """Regression: quote cached before a price-update tick, re-quoted
+    after it — the served menu must reflect the new prices, not the
+    cached pre-update ones."""
+    scenario = tiny_scenario(seed=0)
+    controller = fresh_controller(scenario, MenuCache())
+    state = controller.state
+    request = pick_request(scenario)
+    before = controller.admission.quote(request, 0)
+
+    # Double every involved link's price, PC-style.
+    involved = controller.menu_cache._involved_links(request)
+    window = controller.config.window
+    new_prices = state.prices[:window].copy()
+    new_prices[:, involved] *= 2.0
+    state.set_prices(0, new_prices)
+    invalidations = get_registry().counter(
+        "service.menu_cache.invalidations")
+    count = invalidations.value
+
+    after = controller.admission.quote(request, 0)
+    assert invalidations.value == count + 1
+    assert fingerprint(after) != fingerprint(before)
+    cold = RequestAdmission(state).quote(request, 0)
+    assert fingerprint(after) == fingerprint(cold)
+    # every quoted unit got exactly twice as expensive
+    old_prices = dict()
+    for (volume, price), (volume2, price2) in zip(before.breakpoints(),
+                                                  after.breakpoints()):
+        assert volume2 == pytest.approx(volume)
+        assert price2 == pytest.approx(2.0 * price)
+
+
+def test_unchanged_links_keep_their_entries_after_reinstall():
+    """set_prices with identical values bumps no versions: re-installing
+    the same price grid must not shred the warm cache."""
+    scenario = tiny_scenario(seed=0)
+    controller = fresh_controller(scenario, MenuCache())
+    state = controller.state
+    request = pick_request(scenario)
+    menu = controller.admission.quote(request, 0)
+    versions = state.link_versions.copy()
+    state.set_prices(0, state.prices[:controller.config.window].copy())
+    assert np.array_equal(state.link_versions, versions)
+    assert controller.admission.quote(request, 0) is menu

@@ -324,3 +324,45 @@ def test_run_accepts_workers_and_knob_flags(tmp_path, capsys):
                  "--workers", "2", "--quote-path", "scan",
                  "--solver-retries", "1"]) == 0
     assert "welfare" in capsys.readouterr().out
+
+
+# -- serve --------------------------------------------------------------------
+
+def test_serve_runs_load_and_writes_report(tmp_path, capsys):
+    out = tmp_path / "service.json"
+    trace = tmp_path / "service.jsonl"
+    code = main(["serve", "--scenario", "tiny", "--seed", "0",
+                 "--price-checks", "2", "--batch-window", "0.002",
+                 "--telemetry", str(trace), "--out", str(out)])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "quotes_per_s" in printed
+    assert "cache_hits" in printed
+    assert "welfare" in printed
+    payload = json.loads(out.read_text())
+    assert payload["load"]["offered"] > 0
+    assert payload["load"]["errors"] == 0
+    assert payload["load"]["answered"] == payload["load"]["offered"]
+    assert payload["cache"]["service.menu_cache.hits"] > 0
+    assert payload["service_options"]["batch_window"] == 0.002
+    assert payload["summary"]["n_requests"] == payload["load"]["offered"]
+    # the trace is audit-ready
+    capsys.readouterr()
+    assert main(["telemetry", "audit", str(trace)]) == 0
+    assert "audit clean" in capsys.readouterr().out
+
+
+def test_serve_accepts_service_knobs_and_rejects_bad_ones(capsys):
+    assert main(["serve", "--scenario", "tiny", "--seed", "0",
+                 "--cache-size", "0", "--max-pending", "8",
+                 "--quote-deadline", "5", "--quote-path", "scan"]) == 0
+    capsys.readouterr()
+    assert main(["serve", "--scenario", "tiny",
+                 "--quote-deadline", "-1"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_serve_rejects_bad_fault_spec(capsys):
+    assert main(["serve", "--scenario", "tiny",
+                 "--faults", "sam:nonsense"]) == 2
+    assert "error" in capsys.readouterr().err
