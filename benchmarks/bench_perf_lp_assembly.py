@@ -67,8 +67,10 @@ def measure(lp_builder, monkeypatch, scale):
     total_s = time.perf_counter() - start
 
     # Construction only: intercept the solver entry point to capture the
-    # built model.  SAM funnels every solve through the resilience layer,
-    # which binds `solve_model` at import time, so patch that binding.
+    # built model.  SAM funnels every solve through a ScipySession, which
+    # calls the `solve_model` binding in `repro.lp.solver`, so patch it
+    # there (the resilience layer's own binding only serves sessionless
+    # direct callers).
     captured = {}
 
     def capture(model, **kwargs):
@@ -76,7 +78,7 @@ def measure(lp_builder, monkeypatch, scale):
         raise _CaptureModel
 
     with monkeypatch.context() as patch:
-        patch.setattr(resilience, "solve_model", capture)
+        patch.setattr(lp_solver, "solve_model", capture)
         start = time.perf_counter()
         try:
             sam.adjust(contracts, {}, realized, now=2)

@@ -1,0 +1,155 @@
+"""Perf benchmark: SAM incremental solving vs the cold-solve reference.
+
+Runs the same gapped-arrival scenario through :func:`repro.api.run`
+three times:
+
+- **cold** — skeleton cache and fast path off (the pre-incremental
+  reference: every step rebuilds the COO model from scratch and
+  cold-solves it);
+- **warm** — skeleton cache on, fast path off (arrivals append cached
+  per-contract skeletons, settlements evict them, surviving contracts
+  are trimmed by an affine renumber instead of rebuilt).  This run must
+  be **bit-identical** to cold — patching changes how the matrix is
+  assembled, never its entries — and the bench asserts delivered,
+  payments, chosen and the realised load grid match exactly;
+- **fast** — skeleton cache and quiet-step fast path on (steps with no
+  arrivals reuse the previous plan's tail without touching the LP).
+  The reused tail is *an* optimum of a degenerate LP, not necessarily
+  the cold solver's vertex, so the bench asserts what economics pins
+  down: identical admit/reject decisions (``chosen``) and payment and
+  delivered **totals** equal to the last float.
+
+Arrivals are gapped on purpose: the scenario's arrival stream is
+squeezed into the first quarter of the horizon (deadlines stretched to
+keep windows legal), so most steps are quiet and the fast path gets the
+workload it exists for.  Stock scenarios offer arrivals every step, so
+on them the fast path never fires and warm == cold bit-identity is the
+whole story (that is what the chaos grid and sweep differential suites
+pin).
+
+The recorded JSON (rolled into ``BENCH_PERF.json``) reports all three
+wall times, ``warm_speedup`` (cold/warm) and ``fast_speedup``
+(cold/fast, the headline end-to-end number), plus the fast-path and
+skeleton counters so a regression in trigger rate is visible in the
+artifact, not just in the timing noise.
+
+Timings are recorded, never gated (CI fails on crash, not slowness).
+Scale with ``BENCH_PERF_SCALE=small|medium`` (CI uses ``small``).
+"""
+
+import dataclasses
+import math
+import os
+import time
+
+import numpy as np
+
+from repro.api import run
+from repro.experiments.scenarios import SCENARIO_BUILDERS
+from repro.options import RunOptions
+from repro.telemetry import get_registry, use_registry
+
+SCALES = {
+    "small": dict(scenario="quick", seed=0),
+    "medium": dict(scenario="standard", seed=0),
+}
+
+COUNTERS = ("sam.fast_path.hits", "sam.fast_path.misses",
+            "sam.skeleton.hits", "sam.skeleton.misses",
+            "sam.skeleton.trims", "lp.session.warm_starts",
+            "lp.session.cold_starts")
+
+
+def gapped_scenario(name, seed):
+    """The named scenario with its arrivals squeezed into the first
+    quarter of the horizon (deadlines stretched so windows stay legal):
+    the remaining three quarters of the steps offer no arrivals, which
+    is the regime the quiet-step fast path targets."""
+    scenario = SCENARIO_BUILDERS[name](seed=seed)
+    workload = scenario.workload
+    quarter = max(1, workload.n_steps // 4)
+    requests = []
+    for request in workload.requests:
+        arrival = request.arrival % quarter
+        start = max(request.start, arrival)
+        deadline = max(request.deadline,
+                       min(workload.n_steps - 1, start + 4))
+        requests.append(dataclasses.replace(
+            request, arrival=arrival, start=start, deadline=deadline))
+    requests.sort(key=lambda r: (r.arrival, r.rid))
+    workload = dataclasses.replace(workload, requests=requests)
+    return dataclasses.replace(scenario, workload=workload)
+
+
+def run_variant(scenario_name, seed, **knobs):
+    """One full Pretium run on the gapped scenario, fresh registry."""
+    scenario = gapped_scenario(scenario_name, seed)
+    with use_registry():
+        begin = time.perf_counter()
+        report = run("Pretium", scenario,
+                     options=RunOptions(solver_backend="scipy", **knobs))
+        wall = time.perf_counter() - begin
+        registry = get_registry()
+        counters = {name: registry.counter(name).value for name in COUNTERS}
+    return report.result, wall, counters
+
+
+def bench_perf_sam_warm(benchmark, record):
+    scale_name = os.environ.get("BENCH_PERF_SCALE", "medium")
+    scale = SCALES[scale_name]
+    name, seed = scale["scenario"], scale["seed"]
+
+    fast, fast_wall, fast_counters = benchmark.pedantic(
+        run_variant, args=(name, seed), rounds=1, iterations=1)
+    cold, cold_wall, _ = run_variant(
+        name, seed, sam_skeleton_cache=False, sam_fast_path=False)
+    warm, warm_wall, warm_counters = run_variant(
+        name, seed, sam_fast_path=False)
+
+    # Patching is pure assembly: warm must be the cold run, bit for bit.
+    assert warm.chosen == cold.chosen
+    assert warm.payments == cold.payments
+    assert warm.delivered == cold.delivered
+    assert np.array_equal(warm.loads, cold.loads)
+    assert warm_counters["sam.skeleton.hits"] \
+        + warm_counters["sam.skeleton.trims"] > 0, \
+        "warm run never reused a cached skeleton"
+
+    # The fast path reuses an optimal tail of a degenerate LP: decisions
+    # and totals are pinned, per-request splits may sit on another
+    # optimal vertex.
+    assert fast.chosen == cold.chosen, \
+        "fast path changed admission decisions"
+    assert math.isclose(sum(fast.payments.values()),
+                        sum(cold.payments.values()),
+                        rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(sum(fast.delivered.values()),
+                        sum(cold.delivered.values()),
+                        rel_tol=1e-9, abs_tol=1e-6)
+    assert fast_counters["sam.fast_path.hits"] > 0, \
+        "gapped workload never took the fast path"
+
+    scenario = gapped_scenario(name, seed)
+    result = {
+        "scale": scale_name,
+        "scenario": name,
+        "n_requests": scenario.workload.n_requests,
+        "n_steps": scenario.workload.n_steps,
+        "quiet_steps": scenario.workload.n_steps
+        - len({r.arrival for r in scenario.workload.requests}),
+        "cold_s": cold_wall,
+        "warm_s": warm_wall,
+        "fast_s": fast_wall,
+        "warm_speedup": cold_wall / warm_wall,
+        "fast_speedup": cold_wall / fast_wall,
+        "fast_counters": fast_counters,
+        "warm_counters": warm_counters,
+    }
+    record(result)
+    print(f"\nsam warm ({scale_name}, {result['n_requests']} requests, "
+          f"{result['n_steps']} steps, {result['quiet_steps']} quiet): "
+          f"cold {cold_wall:.2f}s, warm {warm_wall:.2f}s "
+          f"({result['warm_speedup']:.2f}x, bit-identical), "
+          f"fast {fast_wall:.2f}s ({result['fast_speedup']:.2f}x, "
+          f"{fast_counters['sam.fast_path.hits']} fast-path steps, "
+          "decisions identical)")

@@ -8,7 +8,10 @@ the greedy) — and asserts the two runs make **identical admit/reject
 decisions** (the cache serves bit-identical menus or nothing).  The
 recorded JSON (rolled into ``BENCH_PERF.json``) reports quotes/sec and
 p50/p99 end-to-end quote latency for both runs plus the measured
-``warm_speedup`` (cold wall / warm wall).
+``warm_speedup`` (cold wall / warm wall).  End-to-end latency is also
+split into its components — ``queue_p50/p99_ms`` (micro-batch queueing
+wait) and ``service_p50/p99_ms`` (actual quoting work) — so the open
+loop's queueing delay is never read as service slowness.
 
 Timings are recorded, never gated (CI fails on crash, not slowness).
 Scale with ``BENCH_PERF_SCALE=small|medium`` (CI uses ``small``).
@@ -50,6 +53,10 @@ def _stats(report, cache):
         "wall_s": report.wall_s,
         "latency_p50_ms": latency.get("p50"),
         "latency_p99_ms": latency.get("p99"),
+        "queue_p50_ms": report.queue_ms.get("p50"),
+        "queue_p99_ms": report.queue_ms.get("p99"),
+        "service_p50_ms": report.service_ms.get("p50"),
+        "service_p99_ms": report.service_ms.get("p99"),
         "cache": cache,
     }
 

@@ -239,6 +239,23 @@ def _add_knob_flags(parser: argparse.ArgumentParser) -> None:
                         help="LP construction path (default: coo)")
     parser.add_argument("--quote-path", choices=["heap", "scan"],
                         help="RA quote implementation (default: heap)")
+    parser.add_argument("--solver-backend", choices=["scipy", "highs",
+                                                     "auto"],
+                        help="LP solver session backend: scipy (the "
+                             "reference), highs (persistent highspy "
+                             "session with warm starts; falls back to "
+                             "scipy when highspy is absent), or auto "
+                             "(default: scipy, or REPRO_SOLVER_BACKEND)")
+    parser.add_argument("--sam-skeleton-cache",
+                        action=argparse.BooleanOptionalAction, default=None,
+                        help="cache per-contract COO skeletons across SAM "
+                             "steps and patch instead of rebuilding "
+                             "(default: on)")
+    parser.add_argument("--sam-fast-path",
+                        action=argparse.BooleanOptionalAction, default=None,
+                        help="reuse the previous plan's tail on steps with "
+                             "no new arrivals, skipping the LP entirely "
+                             "(default: on)")
     parser.add_argument("--solver-retries", type=int, metavar="N",
                         help="extra solve attempts after a transient "
                              "solver failure (default: 2)")
@@ -248,6 +265,9 @@ def _options_from_args(args) -> RunOptions:
     """Build the run's :class:`RunOptions` from parsed CLI flags."""
     return RunOptions(
         lp_builder=args.lp_builder, quote_path=args.quote_path,
+        solver_backend=args.solver_backend,
+        sam_skeleton_cache=args.sam_skeleton_cache,
+        sam_fast_path=args.sam_fast_path,
         solver_retries=args.solver_retries, faults=args.faults,
         fault_seed=args.fault_seed, telemetry=args.telemetry,
         workers=getattr(args, "workers", 1))

@@ -9,9 +9,20 @@ top-10% percentile-cost proxy.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..lp.topk import TOPK_ENCODINGS
+
+
+def _default_solver_backend() -> str:
+    """Backend default: the ``REPRO_SOLVER_BACKEND`` env var, else scipy.
+
+    The env override is how CI legs force a backend across a whole test
+    run without threading a knob through every construction site; scipy
+    is the deterministic reference available in every environment.
+    """
+    return os.environ.get("REPRO_SOLVER_BACKEND", "scipy")
 
 
 @dataclass
@@ -75,6 +86,24 @@ class PretiumConfig:
         batched numpy triplets through ``Model.add_constraints_coo``) or
         ``"expr"`` (the reference term-by-term expression builder).  Both
         assemble the identical matrix.
+    solver_backend:
+        LP backend behind :func:`~repro.faults.resilience.resilient_solve`:
+        ``"scipy"`` (default; stateless reference, always available),
+        ``"highs"`` (persistent ``highspy`` session with warm starts,
+        degrading to scipy when the bindings are absent) or ``"auto"``
+        (highs when available).  Defaults to the ``REPRO_SOLVER_BACKEND``
+        environment variable when set.
+    sam_skeleton_cache:
+        Reuse cached per-contract COO fragments between SAM steps,
+        patching only what changed (arrivals append, settlements and
+        elapsed timesteps trim).  The patched build is bit-identical to
+        a fresh one — this knob exists so the differential suite can
+        compare the two.
+    sam_fast_path:
+        Serve provably-quiet SAM steps (no arrivals offered, capacity
+        unchanged, previous plan executed exactly, guarantees enforced)
+        from the previous plan's tail without solving the LP; any
+        violated precondition falls back to the exact solve.
     solver_retries:
         Additional solve attempts after a transient backend failure
         (``SolverError``/``SolverTimeout``) before the module-level
@@ -113,6 +142,9 @@ class PretiumConfig:
     initial_leveling_steps: int | None = None
     quote_path: str = "heap"
     lp_builder: str = "coo"
+    solver_backend: str = field(default_factory=_default_solver_backend)
+    sam_skeleton_cache: bool = True
+    sam_fast_path: bool = True
     solver_retries: int = 2
     solver_backoff: float = 0.0
     solver_time_limit: float | None = None
@@ -161,6 +193,10 @@ class PretiumConfig:
             raise ValueError(f"unknown quote_path {self.quote_path!r}")
         if self.lp_builder not in ("coo", "expr"):
             raise ValueError(f"unknown lp_builder {self.lp_builder!r}")
+        from ..lp.solver import SOLVER_BACKENDS
+        if self.solver_backend not in SOLVER_BACKENDS:
+            raise ValueError(
+                f"unknown solver_backend {self.solver_backend!r}")
         if self.solver_retries < 0:
             raise ValueError("solver_retries must be >= 0")
         if self.solver_backoff < 0:

@@ -107,6 +107,20 @@ class PretiumController:
         self.price_updates = 0
         self.failure_events = []
         self._stale_windows = 0
+        self._arrivals_since_step = 0
+
+    def close(self) -> None:
+        """Release per-run resources (persistent solver sessions).
+
+        Engines call this when a run ends; safe to call before
+        :meth:`begin` and more than once.
+        """
+        sam = getattr(self, "sam", None)
+        if sam is not None:
+            sam.close()
+        pricer = getattr(self, "pricer", None)
+        if pricer is not None:
+            pricer.close()
 
     def _current_injector(self) -> FaultInjector:
         return self.injector if self.injector is not None else get_injector()
@@ -168,6 +182,13 @@ class PretiumController:
         it worthwhile.
         """
         metrics = get_registry()
+        # Every *offered* arrival (admitted, rejected or scavenger)
+        # breaks the next step's quiet-ness for SAM's fast path.  A
+        # rejected arrival leaves the LP unchanged, so counting it is
+        # conservative — but it keeps "quiet" a property of the arrival
+        # stream alone, so any scenario with arrivals at every step is
+        # bit-identical to the cold-solve reference by construction.
+        self._arrivals_since_step += 1
         if request.scavenger:
             contract = Contract.scavenger(request, request.value, t)
             self.contracts.append(contract)
@@ -227,13 +248,16 @@ class PretiumController:
         contract's outstanding volume — so every pre-fault guarantee
         keeps its capacity backing and the run continues.
         """
+        arrivals_since = self._arrivals_since_step
+        self._arrivals_since_step = 0
         if self.config.sam_enabled:
             failure = None
             with get_tracer().span("sam.adjust", step=t,
                                    n_contracts=len(self.contracts)) as span:
                 try:
                     plan = self.sam.adjust(self.contracts, delivered,
-                                           loads, t)
+                                           loads, t,
+                                           arrivals_since=arrivals_since)
                 except LPError as exc:
                     span.set(degraded=True)
                     failure = exc
@@ -243,6 +267,12 @@ class PretiumController:
                 return self._planned_step(t, delivered)
             if plan is None:
                 plan = []
+            if self.sam.last_fast_path:
+                # The plan is the previous plan's tail: reservations at
+                # t+1.. already equal it entry for entry, so
+                # re-installing would only churn link versions (and the
+                # service's menu cache) for a no-op rewrite.
+                return transmissions_now(plan, t)
             active = {c.rid for c in self.contracts
                       if c.request.deadline >= t}
             install_plan(self.state, plan, t, active_rids=active)

@@ -25,7 +25,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..faults.resilience import RetryPolicy, resilient_solve
-from ..lp import LE, Model, add_sum_topk, add_sum_topk_coo, quicksum
+from ..lp import LE, Model, add_sum_topk, add_sum_topk_coo, quicksum, \
+    session_for
 from ..lp.grouping import PairGroups
 from ..telemetry import ledger
 from .admission import EPS, Contract
@@ -46,13 +47,27 @@ class PriceComputer:
         self.state = state
         self.billing_window = billing_window
         self.injector = injector
+        self._session = None
+
+    def close(self) -> None:
+        """Release the persistent solver session (idempotent)."""
+        if self._session is not None:
+            self._session.close()
+            self._session = None
 
     def _solve_lp(self, model: Model, now: int):
-        """All PC solves funnel through the resilience layer."""
+        """All PC solves funnel through the resilience layer.
+
+        The hindsight LP recurs with a near-identical shape every
+        window, so the persistent session's warm start pays off on the
+        stateful backend; the scipy session is the stateless reference.
+        """
+        if self._session is None:
+            self._session = session_for(self.state.config.solver_backend)
         return resilient_solve(
             model, "pc", now,
             policy=RetryPolicy.from_config(self.state.config),
-            injector=self.injector)
+            injector=self.injector, session=self._session)
 
     def update(self, contracts: list[Contract], now: int) -> bool:
         """Recompute prices at window-start ``now``.

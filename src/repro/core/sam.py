@@ -26,12 +26,17 @@ import numpy as np
 
 from ..faults.resilience import RetryPolicy, resilient_solve
 from ..lp import GE, LE, InfeasibleError, Model, add_sum_topk, \
-    add_sum_topk_coo, quicksum
+    add_sum_topk_coo, quicksum, session_for
 from ..lp.grouping import PairGroups
 from ..network import Path
 from ..telemetry import get_registry, ledger
 from .admission import EPS, Contract
 from .state import NetworkState
+
+#: Tolerance for "execution followed the plan exactly" in the fast-path
+#: precondition (the engine replays the plan's own floats, so matches are
+#: normally bit-exact; the tolerance only absorbs alternative engines).
+_PLAN_TOLERANCE = 1e-9
 
 
 @dataclass
@@ -47,11 +52,92 @@ class Transmission:
     volume: float
 
 
+@dataclass
+class _ContractSkeleton:
+    """Cached COO fragments of one contract's slice of the SAM LP.
+
+    Index arrays are stored *relative* to the contract's variable block
+    (and over the full remaining span at first build), so reuse at a
+    later step is two vectorised patches: a step mask dropping elapsed
+    timesteps and an affine renumber of the variable indices
+    (``new = old - delta * (route + 1)`` for a ``delta``-step trim).
+    The arrays are never mutated — every reuse slices fresh copies — and
+    the assembled fragments are bit-identical to a fresh build, which
+    the hypothesis suite asserts over arbitrary patch sequences.
+    """
+
+    first: int
+    deadline: int
+    n_routes: int
+    steps: np.ndarray        # arange(first, deadline + 1)
+    rel_links: np.ndarray    # link index per incidence entry
+    rel_steps: np.ndarray    # timestep per incidence entry
+    rel_vars: np.ndarray     # block-relative variable per incidence entry
+    entry_route: np.ndarray  # route id per incidence entry
+
+    @classmethod
+    def build(cls, routes, first: int, deadline: int) -> "_ContractSkeleton":
+        steps = np.arange(first, deadline + 1)
+        n_steps = steps.size
+        links_parts, steps_parts, vars_parts, route_parts = [], [], [], []
+        for r, path in enumerate(routes):
+            link_indices = np.asarray(path.link_indices())
+            links_parts.append(np.tile(link_indices, n_steps))
+            steps_parts.append(np.repeat(steps, link_indices.size))
+            vars_parts.append(np.repeat(
+                np.arange(r * n_steps, (r + 1) * n_steps), link_indices.size))
+            route_parts.append(np.full(link_indices.size * n_steps, r,
+                                       dtype=np.int64))
+        concat = lambda parts: np.concatenate(parts) if parts \
+            else np.zeros(0, dtype=np.int64)  # noqa: E731
+        return cls(first=first, deadline=deadline, n_routes=len(routes),
+                   steps=steps, rel_links=concat(links_parts),
+                   rel_steps=concat(steps_parts),
+                   rel_vars=concat(vars_parts),
+                   entry_route=concat(route_parts))
+
+    def sliced(self, first: int):
+        """Fragment arrays for the remaining span ``[first, deadline]``.
+
+        Returns ``(steps, rel_links, rel_steps, rel_vars)``; ``first ==
+        self.first`` reuses the cached arrays as-is (callers only read
+        and add offsets), a later ``first`` trims elapsed steps.
+        """
+        delta = first - self.first
+        if delta == 0:
+            return self.steps, self.rel_links, self.rel_steps, self.rel_vars
+        keep = self.rel_steps >= first
+        # Dropping the leading `delta` columns of the (route x step) grid
+        # shifts route r's block start by delta * r and its in-block
+        # offset by delta, hence the affine renumber below.
+        rel_vars = self.rel_vars[keep] \
+            - delta * (self.entry_route[keep] + 1)
+        return self.steps[delta:], self.rel_links[keep], \
+            self.rel_steps[keep], rel_vars
+
+
 class ScheduleAdjuster:
     """The SAM module.
 
     ``injector`` scopes fault injection to this instance; ``None`` falls
     back to the process-wide injector at solve time.
+
+    Incremental machinery (all three proven equivalent to a cold solve
+    by the differential suite):
+
+    - a persistent :class:`~repro.lp.solver.SolverSession` (per
+      ``config.solver_backend``) carries warm-start state across steps;
+    - per-contract COO fragments are cached between steps
+      (``config.sam_skeleton_cache``) and patched instead of rebuilt;
+    - provably-quiet steps are served from the previous plan's tail
+      without solving (``config.sam_fast_path``): when no arrival was
+      offered, capacity is unchanged and the previous step executed its
+      plan exactly, the new LP equals the old one with the executed
+      step's variables pinned at their solved values — so the old
+      optimum's tail is feasible and optimal for it (a better tail would
+      contradict the old optimality), guarantees included.  Any failed
+      precondition — the "guarantees may newly bind" cases — falls back
+      to the exact solve.
     """
 
     def __init__(self, state: NetworkState, billing_window: int,
@@ -61,43 +147,126 @@ class ScheduleAdjuster:
         self.state = state
         self.billing_window = billing_window
         self.injector = injector
+        self._session = None
+        self._skeletons: dict[int, _ContractSkeleton] = {}
+        #: Whether the last :meth:`adjust` was served by the fast path
+        #: (the controller skips plan re-installation in that case: the
+        #: reservations already are the plan tail).
+        self.last_fast_path = False
+        self._armed = False
+        self._last_step: int | None = None
+        self._last_plan: list[Transmission] = []
+        self._expected: dict[int, float] = {}
+        self._capacity_seen = -1
+
+    def close(self) -> None:
+        """Release the persistent solver session (idempotent)."""
+        if self._session is not None:
+            self._session.close()
+            self._session = None
 
     def adjust(self, contracts: list[Contract],
                delivered: dict[int, float],
                realized_loads: np.ndarray,
-               now: int) -> list[Transmission] | None:
+               now: int,
+               arrivals_since: int | None = None) -> \
+            list[Transmission] | None:
         """Re-optimise all open contracts from timestep ``now`` onward.
 
         ``realized_loads[t, e]`` holds actual per-link volume for t < now.
-        Returns the full new plan (transmissions at ``now`` and later), or
-        ``None`` when there is nothing to schedule.
+        ``arrivals_since`` is the number of arrivals *offered* (admitted,
+        rejected or scavenger) since the previous adjust — the
+        controller's quiet-step signal; ``None`` (direct callers) means
+        unknown and disables the fast path.  Returns the full new plan
+        (transmissions at ``now`` and later), or ``None`` when there is
+        nothing to schedule.
         """
+        self.last_fast_path = False
         active = [c for c in contracts
                   if c.request.deadline >= now
                   and delivered.get(c.rid, 0.0) < c.chosen - EPS]
         if not active:
+            self._disarm()
             return []
 
+        config = self.state.config
+        if config.sam_fast_path and arrivals_since == 0:
+            if self._fast_path_ok(delivered, now):
+                get_registry().counter("sam.fast_path.hits").inc()
+                tail = [tx for tx in self._last_plan if tx.timestep >= now]
+                self._arm(tail, delivered, now)
+                self.last_fast_path = True
+                return tail
+            get_registry().counter("sam.fast_path.misses").inc()
+        self._disarm()
+
         try:
-            return self._solve(active, delivered, realized_loads, now,
+            plan = self._solve(active, delivered, realized_loads, now,
                                enforce_guarantees=True)
         except InfeasibleError:
             # A fault broke feasibility of the outstanding guarantees;
             # degrade to best effort rather than dropping the step.  The
             # ledger event is the auditor's waiver for guarantees that
-            # consequently go unmet.
+            # consequently go unmet.  A best-effort plan never arms the
+            # fast path: the next step must retry with guarantees.
             get_registry().counter("resilience.guarantee_drops.sam").inc()
             ledger.record("GUARANTEES_DROPPED", step=now,
                           n_active=len(active))
             return self._solve(active, delivered, realized_loads, now,
                                enforce_guarantees=False)
+        self._arm(plan, delivered, now)
+        return plan
+
+    # -- quiet-step fast path ---------------------------------------------
+    def _fast_path_ok(self, delivered: dict[int, float], now: int) -> bool:
+        """All preconditions for reusing the previous plan's tail.
+
+        Consecutive (armed step, unchanged capacity, executed-exactly)
+        checks are exactly the cases where no guarantee can newly bind:
+        the previous solve enforced every guarantee, and nothing the LP
+        depends on has changed except the pinned, on-plan past.
+        """
+        if not self._armed or self._last_step != now - 1:
+            return False
+        if self.state.capacity_version != self._capacity_seen:
+            return False
+        expected = self._expected
+        for rid in delivered.keys() | expected.keys():
+            if abs(delivered.get(rid, 0.0) - expected.get(rid, 0.0)) \
+                    > _PLAN_TOLERANCE:
+                return False
+        return True
+
+    def _arm(self, plan: list[Transmission], delivered: dict[int, float],
+             now: int) -> None:
+        """Snapshot what the next step must look like for tail reuse."""
+        if not self.state.config.sam_fast_path:
+            return
+        expected = dict(delivered)
+        for tx in plan:
+            # Accumulated in plan order — the same float additions the
+            # engine performs when executing this step.
+            if tx.timestep == now:
+                expected[tx.rid] = expected.get(tx.rid, 0.0) + tx.volume
+        self._last_plan = plan
+        self._last_step = now
+        self._expected = expected
+        self._capacity_seen = self.state.capacity_version
+        self._armed = True
+
+    def _disarm(self) -> None:
+        self._armed = False
+        self._last_plan = []
+        self._expected = {}
 
     def _solve_lp(self, model: Model, now: int):
         """All SAM solves funnel through the resilience layer."""
+        if self._session is None:
+            self._session = session_for(self.state.config.solver_backend)
         return resilient_solve(
             model, "sam", now,
             policy=RetryPolicy.from_config(self.state.config),
-            injector=self.injector)
+            injector=self.injector, session=self._session)
 
     # -- LP construction ---------------------------------------------------
     def _solve(self, active: list[Contract], delivered: dict[int, float],
@@ -121,10 +290,18 @@ class ScheduleAdjuster:
         smoothing rows per first-encountered (link, timestep) pair, then
         the per-window percentile-cost proxy), so HiGHS sees the
         identical LP and returns the identical plan and duals.
+
+        With ``config.sam_skeleton_cache`` on, each contract's incidence
+        fragments come from a :class:`_ContractSkeleton` cached at the
+        contract's first build and patched (elapsed steps trimmed) on
+        reuse; settled/expired contracts are evicted.  Either way the
+        assembled arrays are identical.
         """
         state = self.state
         config = state.config
         model = Model(sense="max", name=f"sam@{now}")
+        registry = get_registry()
+        cache = self._skeletons if config.sam_skeleton_cache else None
 
         obj_cols: list[np.ndarray] = []
         obj_vals: list[np.ndarray] = []
@@ -136,7 +313,23 @@ class ScheduleAdjuster:
             request = contract.request
             routes = state.paths.routes(request.src, request.dst)
             first = max(request.start, now)
-            steps = np.arange(first, request.deadline + 1)
+            skeleton = None if cache is None else cache.get(contract.rid)
+            if skeleton is not None and (
+                    skeleton.deadline != request.deadline
+                    or skeleton.n_routes != len(routes)
+                    or skeleton.first > first):
+                skeleton = None
+            if skeleton is None:
+                skeleton = _ContractSkeleton.build(routes, first,
+                                                  request.deadline)
+                if cache is not None:
+                    cache[contract.rid] = skeleton
+                    registry.counter("sam.skeleton.misses").inc()
+            elif skeleton.first == first:
+                registry.counter("sam.skeleton.hits").inc()
+            else:
+                registry.counter("sam.skeleton.trims").inc()
+            steps, rel_links, rel_steps, rel_vars = skeleton.sliced(first)
             n_vars = len(routes) * steps.size
             if n_vars == 0:
                 continue
@@ -148,10 +341,9 @@ class ScheduleAdjuster:
             obj_vals.append(np.full(n_vars, contract.marginal_price))
             for r, path in enumerate(routes):
                 plan_entries.append((contract, path, steps, flows[r]))
-                link_indices = np.asarray(path.link_indices())
-                inc_links.append(np.tile(link_indices, steps.size))
-                inc_steps.append(np.repeat(steps, link_indices.size))
-                inc_vars.append(np.repeat(flows[r], link_indices.size))
+            inc_links.append(rel_links)
+            inc_steps.append(rel_steps)
+            inc_vars.append(rel_vars + block.start)
             rows = [np.zeros(n_vars, dtype=np.int64)]
             senses = [LE]
             rhs = [remaining_cap]
@@ -165,6 +357,14 @@ class ScheduleAdjuster:
                 np.concatenate(rows), np.tile(flows.ravel(), len(rows)),
                 np.ones(n_vars * len(rows)), senses, rhs,
                 name=f"demand[{contract.rid}]")
+
+        if cache is not None:
+            # Settlement patch: contracts that left the active set
+            # (delivered in full, expired, or never admitted here) are
+            # deactivated by eviction — the next build simply skips them.
+            active_rids = {c.rid for c in active}
+            for rid in [r for r in cache if r not in active_rids]:
+                del cache[rid]
 
         groups = PairGroups(
             np.concatenate(inc_links) if inc_links else np.zeros(0, np.int64),

@@ -64,6 +64,13 @@ class NetworkState:
         #: this clock — mutate through the methods below instead.
         self.link_versions = np.zeros(topology.num_links, dtype=np.int64)
 
+        #: Monotone clock over *capacity* mutations only (link failures,
+        #: high-pri bursts) — unlike ``link_versions`` it ignores
+        #: reservation churn.  SAM's quiet-step fast path snapshots it at
+        #: solve time: a bumped clock means the LP's capacity rows
+        #: changed and the cached plan tail may no longer be feasible.
+        self.capacity_version = 0
+
     # -- capacity ------------------------------------------------------
     def residual(self, t: int) -> np.ndarray:
         """Unreserved usable capacity on every link at timestep ``t``."""
@@ -85,6 +92,7 @@ class NetworkState:
         end = self.n_steps if end is None else end
         self.capacity[start:end, link.index] = 1e-9
         self.link_versions[link.index] += 1
+        self.capacity_version += 1
 
     def set_highpri_usage(self, t: int, link_index: int,
                           volume: float) -> None:
@@ -92,6 +100,7 @@ class NetworkState:
         base = self.topology.link(link_index).capacity
         self.capacity[t, link_index] = max(0.0, base - volume)
         self.link_versions[link_index] += 1
+        self.capacity_version += 1
 
     # -- segment pricing (§4.1 short-term adjustment) --------------------
     def price_segments(self, link_index: int, t: int,

@@ -18,7 +18,13 @@ module shards the grid across a spawn-based ``ProcessPoolExecutor``:
   worker process death) yields a :class:`CellResult` with
   ``ok=False`` and the error recorded, not a dead sweep;
 - **live progress** — a ``progress(done, total, result)`` callback
-  fires as cells complete (the CLI renders it as a progress line).
+  fires as cells complete (the CLI renders it as a progress line);
+- **chunked submission** — cells are shipped to workers in contiguous
+  chunks (one pool task runs :func:`run_cell` over each cell in turn),
+  so on grids of small cells the per-task pickle/IPC round-trip is paid
+  once per chunk instead of once per cell.  Chunking changes scheduling
+  only: every cell still runs through :func:`run_cell` with the same
+  arguments, so a chunked sweep is bit-identical to serial.
 
 Determinism note: cells are *submitted* in grid order and *collected*
 as they finish, but results are reassembled by cell index, and each
@@ -243,6 +249,31 @@ def run_cell(cell: SweepCell, options: RunOptions | None = None,
             trace_path=None if trace_path is None else str(trace_path))
 
 
+#: Upper bound on cells per pool task: below it each worker gets one
+#: contiguous chunk (one IPC round-trip per worker — what makes sweeps
+#: of sub-second cells faster parallel than serial); past it the grid
+#: splits into more tasks so stragglers can rebalance across workers.
+_MAX_CHUNK = 8
+
+
+def _chunk_cells(cells: list[SweepCell],
+                 workers: int) -> list[list[SweepCell]]:
+    """Contiguous grid-order chunks sized to amortise per-task overhead."""
+    chunk = max(1, min(-(-len(cells) // workers), _MAX_CHUNK))
+    return [cells[i:i + chunk] for i in range(0, len(cells), chunk)]
+
+
+def run_chunk(chunk: list[SweepCell], options: RunOptions | None = None,
+              trace_base: str | Path | None = None) -> list[CellResult]:
+    """Run a chunk of cells in order inside one worker; never raises.
+
+    Purely a batching wrapper over :func:`run_cell` — each cell runs
+    with exactly the arguments the unchunked path would pass, so chunk
+    boundaries are unobservable in the results.
+    """
+    return [run_cell(cell, options, trace_base) for cell in chunk]
+
+
 def run_sweep(grid: SweepGrid, options: RunOptions | None = None,
               progress: Callable[[int, int, CellResult], None] | None = None,
               **legacy) -> SweepResult:
@@ -281,22 +312,27 @@ def run_sweep(grid: SweepGrid, options: RunOptions | None = None,
         for done, cell in enumerate(cells, start=1):
             _collect(run_cell(cell, opts, trace_base), done)
     else:
+        chunks = _chunk_cells(cells, workers)
+        done = 0
         context = get_context("spawn")
-        with ProcessPoolExecutor(max_workers=workers,
+        with ProcessPoolExecutor(max_workers=min(workers, len(chunks)),
                                  mp_context=context) as pool:
-            futures = {pool.submit(run_cell, cell, opts, trace_base): cell
-                       for cell in cells}
-            for done, future in enumerate(as_completed(futures), start=1):
-                cell = futures[future]
+            futures = {pool.submit(run_chunk, chunk, opts, trace_base): chunk
+                       for chunk in chunks}
+            for future in as_completed(futures):
+                chunk = futures[future]
                 try:
-                    result = future.result()
+                    outcomes = future.result()
                 except Exception as exc:  # worker process died
-                    result = CellResult(
+                    outcomes = [CellResult(
                         index=cell.index, scheme=cell.scheme.name,
                         scenario=cell.scenario.label, seed=cell.seed,
                         ok=False, error=type(exc).__name__,
                         detail=f"worker process failed: {exc}")
-                _collect(result, done)
+                        for cell in chunk]
+                for result in outcomes:
+                    done += 1
+                    _collect(result, done)
 
     merged_path = None
     if trace_base is not None:

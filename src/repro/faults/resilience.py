@@ -92,7 +92,8 @@ class RetryPolicy:
 
 def resilient_solve(model, module: str, step: int,
                     policy: RetryPolicy | None = None,
-                    injector: FaultInjector | None = None) -> Solution:
+                    injector: FaultInjector | None = None,
+                    session=None) -> Solution:
     """Solve ``model`` with injection, budgets and retry-with-backoff.
 
     Parameters
@@ -103,6 +104,12 @@ def resilient_solve(model, module: str, step: int,
         Retry/budget policy; defaults to :class:`RetryPolicy()`.
     injector:
         Explicit injector; defaults to the process-wide current one.
+    session:
+        Optional persistent :class:`~repro.lp.solver.SolverSession` to
+        solve through instead of the stateless :func:`solve_model`.
+        Injection, budgets and retries are identical either way — the
+        injector is consulted *before* every attempt, so a session never
+        bypasses a scheduled fault.
 
     Raises whatever the final attempt raised once retries are exhausted;
     :class:`~repro.lp.errors.InfeasibleError` propagates immediately.
@@ -114,6 +121,9 @@ def resilient_solve(model, module: str, step: int,
         try:
             active = injector if injector is not None else get_injector()
             active.check(module, step)
+            if session is not None:
+                return session.solve(model, time_limit=policy.time_limit,
+                                     maxiter=policy.maxiter)
             return solve_model(model, time_limit=policy.time_limit,
                                maxiter=policy.maxiter)
         except SolverError as exc:

@@ -9,19 +9,23 @@ from .errors import (InfeasibleError, LPError, ModelError, SolverError,
                      SolverTimeout, UnboundedError)
 from .model import (EQ, GE, LE, Constraint, ConstraintBlock, LinExpr, Model,
                     Variable, VariableBlock, quicksum, weighted_sum)
-from .solver import Solution, solve_model
+from .solver import (HIGHSPY_AVAILABLE, SOLVER_BACKENDS, HighsSession,
+                     ScipySession, Solution, SolverSession, session_for,
+                     solve_model)
 from .topk import (TOPK_ENCODINGS, add_sum_topk, add_sum_topk_coo,
                    add_sum_topk_cvar, add_sum_topk_cvar_coo,
                    add_sum_topk_sorting, add_sum_topk_sorting_coo,
                    sum_topk_exact, topk_constraint_count)
 
 __all__ = [
-    "Constraint", "ConstraintBlock", "EQ", "GE", "InfeasibleError", "LE",
-    "LPError", "LinExpr", "Model", "ModelError", "Solution", "SolverError",
-    "SolverTimeout", "TOPK_ENCODINGS", "UnboundedError", "Variable",
-    "VariableBlock",
+    "Constraint", "ConstraintBlock", "EQ", "GE", "HIGHSPY_AVAILABLE",
+    "HighsSession", "InfeasibleError", "LE",
+    "LPError", "LinExpr", "Model", "ModelError", "SOLVER_BACKENDS",
+    "ScipySession", "Solution", "SolverError",
+    "SolverSession", "SolverTimeout", "TOPK_ENCODINGS", "UnboundedError",
+    "Variable", "VariableBlock",
     "add_sum_topk", "add_sum_topk_coo", "add_sum_topk_cvar",
     "add_sum_topk_cvar_coo", "add_sum_topk_sorting",
-    "add_sum_topk_sorting_coo", "quicksum", "solve_model", "sum_topk_exact",
-    "topk_constraint_count", "weighted_sum",
+    "add_sum_topk_sorting_coo", "quicksum", "session_for", "solve_model",
+    "sum_topk_exact", "topk_constraint_count", "weighted_sum",
 ]

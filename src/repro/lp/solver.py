@@ -15,15 +15,25 @@ identical matrix.
 
 from __future__ import annotations
 
+import importlib.util
+
 import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
-from ..telemetry import get_tracer
+from ..telemetry import get_registry, get_tracer
 from .errors import InfeasibleError, ModelError, SolverError, SolverTimeout, \
     UnboundedError
-from .model import SENSE_CODES, ConstraintBlock, EQ, GE, Model, Variable, \
-    VariableBlock
+from .model import SENSE_CODES, ConstraintBlock, EQ, GE, LE, Model, \
+    Variable, VariableBlock
+
+#: Whether the native ``highspy`` bindings are importable.  The import is
+#: probed lazily (spec only) so merely loading this module never pays for
+#: — or fails on — an optional dependency.
+HIGHSPY_AVAILABLE = importlib.util.find_spec("highspy") is not None
+
+#: Recognised values of the ``solver_backend`` knob.
+SOLVER_BACKENDS = ("scipy", "highs", "auto")
 
 #: linprog status codes (scipy docs): 0 ok, 1 iteration limit, 2 infeasible,
 #: 3 unbounded, 4 numerical trouble.
@@ -119,22 +129,16 @@ def _objective_vector(model: Model, n: int) -> tuple[np.ndarray, float]:
     raise ModelError(f"model {model.name!r} has no objective")
 
 
-def _assemble(model: Model):
-    """Build (c, A_ub, b_ub, A_eq, b_eq, bounds, row maps) from a model.
+def _collect_entries(model: Model):
+    """Flatten every constraint into COO triplets, in creation order.
 
     Expression constraints are flattened term-by-term (the compatibility
     path); COO blocks contribute their prebuilt triplet arrays directly.
-    Returns, besides the linprog inputs, the per-constraint arrays
-    (``eq_mask``, ``eq_row``, ``ub_row``, ``flip``) needed to re-orient
-    duals.
+    Returns ``(codes, rhs, entry_con, entry_col, entry_val)`` — the raw
+    per-row sense codes and right-hand sides plus the entry arrays both
+    the scipy assembly and the native-HiGHS session build from.
     """
-    n = model.num_variables
     m = model.num_constraints
-
-    c, obj_constant = _objective_vector(model, n)
-    if model.sense == "max":
-        c = -c
-
     codes = np.empty(m, dtype=np.int8)
     rhs = np.empty(m, dtype=np.float64)
     chunks_con, chunks_col, chunks_val = [], [], []
@@ -168,6 +172,24 @@ def _assemble(model: Model):
         entry_con = np.zeros(0, dtype=np.int64)
         entry_col = np.zeros(0, dtype=np.int64)
         entry_val = np.zeros(0, dtype=np.float64)
+    return codes, rhs, entry_con, entry_col, entry_val
+
+
+def _assemble(model: Model):
+    """Build (c, A_ub, b_ub, A_eq, b_eq, bounds, row maps) from a model.
+
+    Returns, besides the linprog inputs, the per-constraint arrays
+    (``eq_mask``, ``eq_row``, ``ub_row``, ``flip``) needed to re-orient
+    duals.
+    """
+    n = model.num_variables
+    m = model.num_constraints
+
+    c, obj_constant = _objective_vector(model, n)
+    if model.sense == "max":
+        c = -c
+
+    codes, rhs, entry_con, entry_col, entry_val = _collect_entries(model)
 
     eq_mask = codes == _CODE_EQ
     flip = np.where(codes == _CODE_GE, -1.0, 1.0)
@@ -266,3 +288,211 @@ def solve_model(model: Model, time_limit: float | None = None,
         duals[eq_mask] = sense_sign * eq_marginals[eq_row[eq_mask]]
 
     return Solution(model, np.asarray(result.x), objective, duals)
+
+
+def _assemble_native(model: Model):
+    """Assemble in creation order for a native (row-bounded) backend.
+
+    Unlike :func:`_assemble`, rows are *not* split into eq/ub matrices or
+    sign-flipped: each constraint becomes one ``row_lower <= a x <=
+    row_upper`` row, so row ``i`` of the backend model is constraint
+    ``i`` of the :class:`Model` and duals map back positionally.
+    """
+    n = model.num_variables
+    m = model.num_constraints
+    c, obj_constant = _objective_vector(model, n)
+    codes, rhs, entry_con, entry_col, entry_val = _collect_entries(model)
+    row_lower = np.where(codes == SENSE_CODES[LE], -np.inf, rhs)
+    row_upper = np.where(codes == SENSE_CODES[GE], np.inf, rhs)
+    matrix = sparse.csc_matrix((entry_val, (entry_con, entry_col)),
+                               shape=(m, n))
+    col_lower = np.array([-np.inf if lb is None else float(lb)
+                          for lb, _ub in model.bounds()])
+    col_upper = np.array([np.inf if ub is None else float(ub)
+                          for _lb, ub in model.bounds()])
+    return c, obj_constant, matrix, row_lower, row_upper, \
+        col_lower, col_upper
+
+
+class SolverSession:
+    """A persistent LP backend that may carry state between solves.
+
+    The contract is exactly :func:`solve_model`'s — same
+    :class:`Solution`, same error taxonomy — plus a lifetime: callers
+    keep one session per module (SAM, PC) for the duration of a run and
+    :meth:`close` it at the end.  A session is free to reuse whatever it
+    can from the previous :meth:`solve` (the HiGHS session warm-starts
+    from the last primal/dual point); a correct session is
+    *indistinguishable* from a cold solve except in wall-clock, which is
+    what the warm-vs-cold differential suite asserts.
+
+    Telemetry: every solve increments ``lp.session.warm_starts`` or
+    ``lp.session.cold_starts`` depending on whether previous-solve state
+    was actually injected.
+    """
+
+    backend = "base"
+
+    def solve(self, model: Model, time_limit: float | None = None,
+              maxiter: int | None = None) -> Solution:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources.  Idempotent; default is a no-op."""
+
+    def __enter__(self) -> "SolverSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ScipySession(SolverSession):
+    """The always-available fallback backend: stateless scipy solves.
+
+    Every call delegates to :func:`solve_model` — ``scipy.optimize.linprog``
+    offers no warm-start surface, so each solve is cold by construction.
+    This is the reference backend: results are bit-identical to the
+    historical non-session path.
+    """
+
+    backend = "scipy"
+
+    def solve(self, model: Model, time_limit: float | None = None,
+              maxiter: int | None = None) -> Solution:
+        get_registry().counter("lp.session.cold_starts").inc()
+        return solve_model(model, time_limit=time_limit, maxiter=maxiter)
+
+
+class HighsSession(SolverSession):
+    """A ``highspy``-backed session keeping one ``Highs`` instance alive.
+
+    Each :meth:`solve` passes the freshly assembled LP to the live
+    instance and, when the variable/constraint counts match the previous
+    solve (the SAM LP between quiet steps, the PC LP across windows),
+    seeds the solver with the previous primal/dual point so the simplex
+    crossover starts near the old optimum.  Mismatched shapes fall back
+    to a cold start — never an error.
+
+    Requires ``highspy``; construct through :func:`session_for`, which
+    degrades to :class:`ScipySession` when the bindings are missing.
+    """
+
+    backend = "highs"
+
+    def __init__(self) -> None:
+        import highspy
+        self._hp = highspy
+        self._highs = highspy.Highs()
+        self._highs.setOptionValue("output_flag", False)
+        self._prev_shape: tuple[int, int] | None = None
+        self._prev_solution = None
+
+    def close(self) -> None:
+        self._highs = None
+        self._prev_solution = None
+
+    def _build_lp(self, model: Model):
+        hp = self._hp
+        c, obj_constant, matrix, row_lower, row_upper, col_lower, \
+            col_upper = _assemble_native(model)
+        if model.sense == "max":
+            c = -c
+        lp = hp.HighsLp()
+        lp.num_col_ = model.num_variables
+        lp.num_row_ = model.num_constraints
+        lp.col_cost_ = c
+        lp.col_lower_ = col_lower
+        lp.col_upper_ = col_upper
+        lp.row_lower_ = row_lower
+        lp.row_upper_ = row_upper
+        lp.a_matrix_.format_ = hp.MatrixFormat.kColwise
+        lp.a_matrix_.start_ = matrix.indptr
+        lp.a_matrix_.index_ = matrix.indices
+        lp.a_matrix_.value_ = matrix.data
+        return lp, obj_constant
+
+    def solve(self, model: Model, time_limit: float | None = None,
+              maxiter: int | None = None) -> Solution:
+        if self._highs is None:
+            raise SolverError("session is closed")
+        hp, highs = self._hp, self._highs
+        registry = get_registry()
+        with get_tracer().span("lp.solve", model=model.name,
+                               sense=model.sense, backend="highs") as span:
+            with get_tracer().span("lp.assemble", model=model.name):
+                lp, obj_constant = self._build_lp(model)
+            span.set(n_vars=model.num_variables,
+                     n_constraints=model.num_constraints)
+            highs.passModel(lp)
+            highs.setOptionValue(
+                "time_limit", float(time_limit) if time_limit is not None
+                else np.inf)
+            if maxiter is not None:
+                highs.setOptionValue("simplex_iteration_limit", int(maxiter))
+            shape = (model.num_variables, model.num_constraints)
+            warm = self._prev_solution is not None \
+                and self._prev_shape == shape
+            if warm:
+                try:
+                    highs.setSolution(self._prev_solution)
+                except Exception:  # noqa: BLE001 — warm start is advisory
+                    warm = False
+            registry.counter("lp.session.warm_starts" if warm
+                             else "lp.session.cold_starts").inc()
+            highs.run()
+            status = highs.getModelStatus()
+            span.set(status=str(status), warm=warm)
+            if status == hp.HighsModelStatus.kInfeasible:
+                self._prev_solution = None
+                raise InfeasibleError(f"model {model.name!r} is infeasible")
+            if status in (hp.HighsModelStatus.kUnbounded,
+                          hp.HighsModelStatus.kUnboundedOrInfeasible):
+                self._prev_solution = None
+                raise UnboundedError(f"model {model.name!r} is unbounded")
+            if status in (hp.HighsModelStatus.kTimeLimit,
+                          hp.HighsModelStatus.kIterationLimit):
+                self._prev_solution = None
+                raise SolverTimeout(
+                    f"model {model.name!r}: budget exhausted before "
+                    f"convergence (time_limit={time_limit}, "
+                    f"maxiter={maxiter})")
+            if status != hp.HighsModelStatus.kOptimal:
+                self._prev_solution = None
+                raise SolverError(f"model {model.name!r}: solver failed "
+                                  f"(status {status})")
+            solution = highs.getSolution()
+            self._prev_solution = solution
+            self._prev_shape = shape
+        sign = -1.0 if model.sense == "max" else 1.0
+        objective = sign * float(highs.getInfo().objective_function_value) \
+            + obj_constant
+        x = np.asarray(solution.col_value, dtype=np.float64)
+        # Row i of the native model is constraint i; row duals are
+        # d(min)/d(rhs), re-oriented for max models exactly as in
+        # solve_model.
+        duals = sign * np.asarray(solution.row_dual, dtype=np.float64)
+        return Solution(model, x, objective, duals)
+
+
+def session_for(backend: str | None) -> SolverSession:
+    """Build the :class:`SolverSession` for a ``solver_backend`` knob.
+
+    ``"scipy"`` (or ``None``) is the stateless reference backend;
+    ``"highs"`` asks for the persistent ``highspy`` session, degrading
+    to scipy — with a ``lp.session.backend_fallbacks`` counter, never an
+    ImportError — when the bindings are absent; ``"auto"`` picks highs
+    when available, scipy otherwise.
+    """
+    if backend in (None, "scipy"):
+        return ScipySession()
+    if backend not in SOLVER_BACKENDS:
+        raise ValueError(f"unknown solver_backend {backend!r}")
+    if HIGHSPY_AVAILABLE:
+        try:
+            return HighsSession()
+        except Exception:  # noqa: BLE001 — broken install == absent install
+            pass
+    if backend == "highs":
+        get_registry().counter("lp.session.backend_fallbacks").inc()
+    return ScipySession()

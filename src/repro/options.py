@@ -37,7 +37,8 @@ from pathlib import Path
 
 #: RunOptions fields that map onto PretiumConfig attributes of the same
 #: name (applied via ``config_overrides`` when a scheme is built).
-CONFIG_FIELDS = ("lp_builder", "quote_path", "solver_retries",
+CONFIG_FIELDS = ("lp_builder", "quote_path", "solver_backend",
+                 "sam_skeleton_cache", "sam_fast_path", "solver_retries",
                  "solver_backoff", "solver_time_limit", "solver_maxiter")
 
 
@@ -52,6 +53,14 @@ class RunOptions:
         to the offline schemes' ``builder`` kwarg.
     quote_path:
         RA quote implementation override (``"heap"``/``"scan"``).
+    solver_backend:
+        LP backend override (``"scipy"``/``"highs"``/``"auto"``; see
+        :class:`~repro.core.config.PretiumConfig.solver_backend`).
+    sam_skeleton_cache / sam_fast_path:
+        Incremental-SAM overrides: cached COO fragment reuse between
+        steps and the quiet-step no-solve fast path.  ``None`` keeps the
+        scheme's defaults (both on); the differential benches turn them
+        off to obtain the cold-solve reference.
     solver_retries / solver_backoff / solver_time_limit / solver_maxiter:
         Resilience budgets (see :class:`~repro.core.config.PretiumConfig`).
     faults:
@@ -73,6 +82,9 @@ class RunOptions:
 
     lp_builder: str | None = None
     quote_path: str | None = None
+    solver_backend: str | None = None
+    sam_skeleton_cache: bool | None = None
+    sam_fast_path: bool | None = None
     solver_retries: int | None = None
     solver_backoff: float | None = None
     solver_time_limit: float | None = None
@@ -88,6 +100,9 @@ class RunOptions:
             raise ValueError(f"unknown lp_builder {self.lp_builder!r}")
         if self.quote_path not in (None, "heap", "scan"):
             raise ValueError(f"unknown quote_path {self.quote_path!r}")
+        if self.solver_backend not in (None, "scipy", "highs", "auto"):
+            raise ValueError(
+                f"unknown solver_backend {self.solver_backend!r}")
         if self.solver_retries is not None and self.solver_retries < 0:
             raise ValueError("solver_retries must be >= 0")
         if self.solver_backoff is not None and self.solver_backoff < 0:

@@ -320,6 +320,11 @@ class AdmissionEngine:
                 payments_total=float(sum(payments.values())),
                 n_contracts=len(chosen), n_failures=len(self.failures))
         self._stack.close()
+        # Mirror batch simulate's end-of-run lifecycle: release the
+        # scheme's persistent solver sessions.
+        close = getattr(scheme, "close", None)
+        if close is not None:
+            close()
         extras = {"runtimes": self.runtimes}
         if self.failures:
             extras["failures"] = self.failures

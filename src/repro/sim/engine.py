@@ -238,6 +238,12 @@ def _simulate(scheme, workload: Workload) -> RunResult:
                           n_contracts=len(chosen),
                           n_failures=len(failures))
 
+    # End-of-run lifecycle: schemes holding per-run resources (the
+    # persistent solver sessions of SAM/PC) release them here.
+    close = getattr(scheme, "close", None)
+    if close is not None:
+        close()
+
     extras = {"runtimes": runtimes}
     if failures:
         extras["failures"] = failures
