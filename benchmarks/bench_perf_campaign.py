@@ -1,0 +1,78 @@
+"""Perf benchmark: the declarative campaign runner, end to end.
+
+Runs one campaign spec through :func:`repro.experiments.campaign
+.run_campaign` — spec → persistent-worker sweeps → figure registry →
+report artifact — and records what the paper-scale reproduction story
+needs tracked run-over-run: total wall-clock, peak RSS (self plus
+reaped workers), and the per-stage timing breakdown, all of which the
+runner itself measures into ``campaign.json``.
+
+Scales (``BENCH_PERF_SCALE``, CI uses ``small``):
+
+- ``small`` — the ``smoke`` preset: 2 cells on the tiny world, seconds.
+- ``medium`` (default) — a 3-scheme campaign on the standard 16-node
+  WAN: the shape of a real figure run at benchmark-loop cost.
+- ``paper`` — the ``paper-scale`` preset: the 106-node / ~226-edge
+  production WAN at the paper's 288 steps/day over a two-day horizon
+  (minutes; run explicitly, never in the default loop).
+
+Worker count is capped at the machine's CPU count so a single-core
+runner measures the serial path instead of pool overhead.  Timings are
+recorded, never gated (CI fails on crash, not slowness).
+"""
+
+import os
+
+from repro.experiments.campaign import campaign_spec, run_campaign
+
+SCALES = {
+    "small": "smoke",
+    "medium": {
+        "campaign": {"name": "bench-medium",
+                     "title": "Campaign bench (standard WAN)"},
+        "options": {"workers": 2},
+        "sweeps": [{"name": "main",
+                    "schemes": ["Pretium", "NoPrices", "OPT"],
+                    "scenario": "standard", "loads": [1.0], "seeds": [0]}],
+        "figures": [{"name": "welfare", "kind": "welfare_vs_load",
+                     "sweep": "main"},
+                    {"name": "timings", "kind": "scheme_timings",
+                     "sweep": "main"}],
+    },
+    "paper": "paper-scale",
+}
+
+
+def bench_perf_campaign(benchmark, record, tmp_path):
+    scale_name = os.environ.get("BENCH_PERF_SCALE", "medium")
+    spec = campaign_spec(SCALES[scale_name])
+    cpu_count = os.cpu_count()
+    workers = max(1, min(spec.options.workers, cpu_count or 1))
+    options = spec.options.replace(workers=workers)
+
+    result = benchmark.pedantic(
+        run_campaign, args=(spec, tmp_path / "out"),
+        kwargs={"options": options}, rounds=1, iterations=1)
+
+    assert result.ok, [cell.detail for cell in result.failures]
+    assert result.report_md.exists() and result.summary_path.exists()
+
+    a_summary = next(cell.summary for cell in
+                     next(iter(result.sweeps.values())).cells if cell.ok)
+    record({
+        "cpu_count": cpu_count,
+        "scale": scale_name,
+        "campaign": spec.name,
+        "n_cells": result.n_cells,
+        "n_requests_per_cell": a_summary["n_requests"],
+        "workers": workers,
+        "wall_s": result.wall_s,
+        "max_rss_mb": result.max_rss_mb,
+        "stages": [{"stage": stage.stage, "wall_s": stage.wall_s,
+                    "detail": stage.detail} for stage in result.stages],
+    })
+    print(f"\ncampaign {spec.name!r} ({scale_name}, {result.n_cells} "
+          f"cells, {workers} worker(s), {cpu_count} cpu): wall "
+          f"{result.wall_s:.2f} s, peak RSS {result.max_rss_mb:.0f} MB")
+    for stage in result.stages:
+        print(f"  {stage.stage:<16} {stage.wall_s:8.2f} s  {stage.detail}")

@@ -1,16 +1,20 @@
-"""Perf benchmark: process-parallel sweep vs the serial reference path.
+"""Perf benchmark: the persistent-worker sweep vs the serial reference.
 
 Runs the same scheme x seed grid twice through
 :func:`repro.experiments.sweep.run_sweep` — serially (``workers=1``, the
-reference path) and across 4 spawned worker processes — and asserts the
-two sweeps are bit-identical cell by cell (summaries, per-request
-delivered/payments/chosen, the realised load grids; measured module
-runtimes are excluded, wall-clock is not deterministic).  The recorded
-JSON (``benchmarks/results/bench_perf_sweep.json``) leads with the
-machine's CPU count and reports both wall times; the speedup ratio is
-recorded only when ``cpu_count >= 2`` — on a single-core runner the
-parallel path only measures spawn overhead, so the JSON carries an
-explanatory ``speedup_note`` instead of a misleading ratio.
+reference path) and across a persistent 4-worker pool (forkserver with
+the sweep module preloaded where available, per-worker scenario caches,
+adaptive chunking) — and asserts the two sweeps are bit-identical cell
+by cell (summaries, per-request delivered/payments/chosen, the realised
+load grids; measured module runtimes are excluded, wall-clock is not
+deterministic).  The bit-identity assertion runs BEFORE any speedup is
+recorded: a fast wrong sweep must fail the bench, not set a number.
+
+The recorded JSON (``benchmarks/results/bench_perf_sweep.json``) leads
+with the machine's CPU count and reports both wall times; the speedup
+ratio is recorded only when ``cpu_count >= 2`` — on a single-core
+runner the parallel path only measures pool overhead, so the JSON
+carries an explanatory ``speedup_note`` instead of a misleading ratio.
 
 Timings are recorded, never gated (CI fails on crash, not slowness).
 Scale with ``BENCH_PERF_SCALE=small|medium`` (CI uses ``small``).
@@ -79,12 +83,12 @@ def bench_perf_sweep(benchmark, record):
         verdict = f"-> {result['speedup']:.2f}x"
     else:
         # On a single-core box the workers time-share one CPU and the
-        # "speedup" would only measure spawn overhead; recording it
-        # would read as a perf regression when it is a machine fact.
+        # "speedup" would only measure pool start-up overhead; recording
+        # it would read as a perf regression when it is a machine fact.
         result["speedup_note"] = (
             f"speedup not recorded: cpu_count={cpu_count} < 2, so "
             "parallel workers time-share one core and wall-clock "
-            "comparison measures spawn overhead, not scaling")
+            "comparison measures pool overhead, not scaling")
         verdict = "(speedup n/a on <2 cpus)"
     record(result)
     print(f"\nsweep ({scale_name}, {result['n_cells']} cells, "

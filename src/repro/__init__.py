@@ -22,19 +22,22 @@ engineering for inter-datacenter transfers.  The top-level subpackages are:
   event loop streaming live arrivals through the same RA/SAM/PC
   machinery, with warm menu caches, micro-batching and backpressure.
 - :mod:`repro.api` -- the stable high-level facade: :func:`repro.run`,
-  :func:`repro.sweep`, :func:`repro.audit` and :func:`repro.serve` with
-  typed results, plus :class:`repro.RunOptions` /
-  :class:`repro.ServiceOptions` for every knob.
+  :func:`repro.sweep`, :func:`repro.campaign`, :func:`repro.audit` and
+  :func:`repro.serve` with typed results, plus
+  :class:`repro.RunOptions` / :class:`repro.ServiceOptions` for every
+  knob.
 """
 
-from .api import (AuditReport, RunOptions, RunReport, ScenarioSpec,
-                  SchemeSpec, ServiceHandle, ServiceOptions, SweepGrid,
-                  SweepResult, audit, run, serve, sweep)
+from .api import (AuditReport, CampaignResult, CampaignSpec, RunOptions,
+                  RunReport, ScenarioSpec, SchemeSpec, ServiceHandle,
+                  ServiceOptions, SweepGrid, SweepResult, audit, campaign,
+                  run, serve, sweep)
 
 __all__ = [
-    "AuditReport", "RunOptions", "RunReport", "ScenarioSpec", "SchemeSpec",
-    "ServiceHandle", "ServiceOptions", "SweepGrid", "SweepResult", "api",
-    "audit", "run", "serve", "sweep",
+    "AuditReport", "CampaignResult", "CampaignSpec", "RunOptions",
+    "RunReport", "ScenarioSpec", "SchemeSpec", "ServiceHandle",
+    "ServiceOptions", "SweepGrid", "SweepResult", "api", "audit",
+    "campaign", "run", "serve", "sweep",
 ]
 
 __version__ = "1.0.0"

@@ -1,4 +1,4 @@
-"""The stable high-level facade: ``run``, ``sweep``, ``audit``, ``serve``.
+"""The stable high-level facade: ``run``, ``sweep``, ``campaign``, …
 
 Everything an evaluation needs, behind a handful of calls::
 
@@ -13,6 +13,9 @@ Everything an evaluation needs, behind a handful of calls::
                          options=repro.RunOptions(workers=4))
 
     assert repro.audit("run.jsonl").ok
+
+    outcome = repro.campaign("smoke", "out/")           # spec -> report
+    report_text = outcome.report_md.read_text()
 
     with repro.serve("Pretium", "tiny") as svc:        # live admission
         decision = svc.submit(request).result()
@@ -32,6 +35,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
 
+from .experiments.campaign import (CampaignResult, CampaignSpec,
+                                   campaign_spec, run_campaign)
 from .experiments.runner import SchemeSpec, run_scheme, scheme_spec
 from .experiments.scenarios import (SCENARIO_BUILDERS, Scenario,
                                     ScenarioSpec)
@@ -42,10 +47,10 @@ from .sim import RunResult, summarize
 from .telemetry import Finding, audit_events, read_trace, unwaived
 
 __all__ = [
-    "AuditReport", "CellResult", "RunOptions", "RunReport", "Scenario",
-    "ScenarioSpec", "SchemeSpec", "ServiceHandle", "ServiceOptions",
-    "SweepCell", "SweepGrid", "SweepResult", "audit", "run", "serve",
-    "sweep",
+    "AuditReport", "CampaignResult", "CampaignSpec", "CellResult",
+    "RunOptions", "RunReport", "Scenario", "ScenarioSpec", "SchemeSpec",
+    "ServiceHandle", "ServiceOptions", "SweepCell", "SweepGrid",
+    "SweepResult", "audit", "campaign", "run", "serve", "sweep",
 ]
 
 
@@ -143,6 +148,23 @@ def sweep(grid, *, options: RunOptions | None = None,
     :func:`repro.experiments.sweep.run_sweep`.
     """
     return run_sweep(_as_grid(grid), options=options, progress=progress)
+
+
+def campaign(spec, out_dir, *, options: RunOptions | None = None,
+             progress=None) -> CampaignResult:
+    """Run a declarative campaign and write its report artifact.
+
+    ``spec`` is a preset name (``"smoke"``, ``"paper-scale"``), a path
+    to a ``.toml``/``.json`` campaign file, a parsed spec dict, or a
+    :class:`~repro.experiments.campaign.CampaignSpec`.  ``out_dir``
+    receives ``report.md``, ``report.html`` and ``campaign.json``.
+    ``options``, when given, replaces the spec's ``[options]`` table
+    wholesale (partial overrides start from
+    ``spec.options.replace(...)``).  See
+    :func:`repro.experiments.campaign.run_campaign`.
+    """
+    return run_campaign(campaign_spec(spec), out_dir, options=options,
+                        progress=progress)
 
 
 def audit(trace, *, summary: dict | None = None) -> AuditReport:

@@ -9,9 +9,15 @@ Commands
     Run one evaluation scheme over a workload artifact (or the standard
     scenario) and print/save the summary metrics.
 ``sweep``
-    Run a scheme × scenario × seed grid, optionally across worker
-    processes (``--workers``), with per-cell results, an optional merged
-    audit-ready telemetry trace, and a live progress line.
+    Run a scheme × scenario × seed grid, optionally across persistent
+    worker processes (``--workers``/``--chunk-size``), with per-cell
+    results, an optional merged audit-ready telemetry trace, and a live
+    progress line.
+``campaign``
+    Run a declarative campaign (a preset name like ``smoke`` /
+    ``paper-scale`` or a TOML/JSON spec file): every declared sweep,
+    the figure registry, and a Markdown + HTML report artifact with
+    wall-clock, memory and per-stage timings.
 ``serve``
     Start the live admission service and drive it with the synthetic
     open-loop load generator; prints quotes/sec, latency percentiles
@@ -139,7 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--seeds", default="0", metavar="S1,S2,...",
                      help="comma-separated scenario seeds")
     swp.add_argument("--workers", type=int, default=1,
-                     help="worker processes (1 = serial reference path)")
+                     help="persistent worker processes (1 = serial "
+                          "reference path)")
+    swp.add_argument("--chunk-size", type=int, metavar="N",
+                     help="cells per worker task (default: adaptive)")
+    swp.add_argument("--worker-start", default="auto",
+                     choices=["auto", "spawn", "forkserver"],
+                     help="worker start method (default: forkserver "
+                          "where available, else spawn)")
     swp.add_argument("--telemetry", metavar="PATH",
                      help="write one merged, audit-ready JSONL trace of "
                           "every cell to PATH")
@@ -150,6 +163,22 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--out", help="write per-cell summary records "
                                    "(JSON) here")
     _add_knob_flags(swp)
+
+    camp = sub.add_parser("campaign",
+                          help="run a declarative campaign spec to a "
+                               "report artifact")
+    camp.add_argument("spec", nargs="?", default=None,
+                      help="campaign preset name or path to a "
+                           ".toml/.json spec file")
+    camp.add_argument("--out-dir", default="campaign-out", metavar="DIR",
+                      help="report artifact directory (default: "
+                           "./campaign-out)")
+    camp.add_argument("--workers", type=int, metavar="N",
+                      help="override the spec's worker count")
+    camp.add_argument("--chunk-size", type=int, metavar="N",
+                      help="override the spec's cells-per-task chunking")
+    camp.add_argument("--list", action="store_true", dest="list_presets",
+                      help="list the built-in campaign presets and exit")
 
     srv = sub.add_parser("serve", help="run the live admission service "
                                        "under synthetic open-loop load")
@@ -270,7 +299,9 @@ def _options_from_args(args) -> RunOptions:
         sam_fast_path=args.sam_fast_path,
         solver_retries=args.solver_retries, faults=args.faults,
         fault_seed=args.fault_seed, telemetry=args.telemetry,
-        workers=getattr(args, "workers", 1))
+        workers=getattr(args, "workers", 1),
+        chunk_size=getattr(args, "chunk_size", None),
+        worker_start=getattr(args, "worker_start", "auto"))
 
 
 def _parse_csv(raw: str, kind, what: str) -> list:
@@ -371,6 +402,50 @@ def _cmd_sweep(args) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(result.summaries(), handle, indent=2, default=str)
         print(f"summaries written to {args.out}")
+    for cell in result.failures:
+        print(f"cell {cell.index} ({cell.label}) failed: {cell.error}: "
+              f"{cell.detail}", file=sys.stderr)
+    return 1 if result.failures else 0
+
+
+def _cmd_campaign(args) -> int:
+    from .experiments.campaign import (CAMPAIGN_PRESETS, CampaignError,
+                                       campaign_spec)
+    if args.list_presets:
+        for name, raw in sorted(CAMPAIGN_PRESETS.items()):
+            header = raw.get("campaign", {})
+            print(f"{name}: {header.get('title', '')}")
+        return 0
+    if args.spec is None:
+        print("error: pass a campaign preset name or spec path "
+              "(see --list)", file=sys.stderr)
+        return 2
+    try:
+        spec = campaign_spec(args.spec)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    overrides = {}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.chunk_size is not None:
+        overrides["chunk_size"] = args.chunk_size
+    options = spec.options.replace(**overrides) if overrides else None
+    total = sum(len(sweep.grid()) for sweep in spec.sweeps)
+    print(f"campaign {spec.name!r}: {len(spec.sweeps)} sweep(s), "
+          f"{total} cell(s), {len(spec.figures)} figure(s) -> "
+          f"{args.out_dir}")
+    result = api.campaign(spec, args.out_dir, options=options,
+                          progress=_sweep_progress)
+    print(format_table(["stage", "wall_s", "detail"],
+                       [[stage.stage, f"{stage.wall_s:.2f}", stage.detail]
+                        for stage in result.stages]))
+    print(f"{result.n_cells} cell(s), {len(result.failures)} failed, "
+          f"wall {result.wall_s:.1f}s, peak RSS "
+          f"{result.max_rss_mb:.0f} MB")
+    print(f"report: {result.report_md}")
+    print(f"report: {result.report_html}")
+    print(f"machine-readable: {result.summary_path}")
     for cell in result.failures:
         print(f"cell {cell.index} ({cell.label}) failed: {cell.error}: "
               f"{cell.detail}", file=sys.stderr)
@@ -560,6 +635,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "figure":

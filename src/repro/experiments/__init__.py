@@ -1,6 +1,8 @@
 """Experiments layer: scenarios, runners, per-figure generators (§6)."""
 
 from . import figures
+from .campaign import (CAMPAIGN_PRESETS, CampaignResult, CampaignSpec,
+                       CampaignSweepSpec, campaign_spec, run_campaign)
 from .figure2 import ExampleRow, figure2_table
 from .incentives import (DEVIATIONS, DeviationOutcome, DeviationReport,
                          deviation_study)
@@ -13,16 +15,19 @@ from .scenarios import (DEFAULT_SEED, LOAD_FACTORS, SCENARIO_BUILDERS,
                         quick_scenario, standard_scenario,
                         standard_topology, tiny_scenario)
 from .sweep import (CellResult, SweepCell, SweepGrid, SweepResult,
-                    run_cell, run_sweep)
+                    cached_scenario, clear_scenario_cache, run_cell,
+                    run_sweep, scenario_cache_stats)
 
 __all__ = [
-    "CellResult", "DEFAULT_SEED", "DEVIATIONS", "DeviationOutcome",
-    "DeviationReport", "ExampleRow", "LOAD_FACTORS", "SCENARIO_BUILDERS",
-    "SCHEME_FACTORIES", "SCHEME_SPECS", "Scenario", "ScenarioSpec",
-    "SchemeSpec", "SweepCell", "SweepGrid", "SweepResult",
+    "CAMPAIGN_PRESETS", "CampaignResult", "CampaignSpec",
+    "CampaignSweepSpec", "CellResult", "DEFAULT_SEED", "DEVIATIONS",
+    "DeviationOutcome", "DeviationReport", "ExampleRow", "LOAD_FACTORS",
+    "SCENARIO_BUILDERS", "SCHEME_FACTORIES", "SCHEME_SPECS", "Scenario",
+    "ScenarioSpec", "SchemeSpec", "SweepCell", "SweepGrid", "SweepResult",
+    "cached_scenario", "campaign_spec", "clear_scenario_cache",
     "deviation_study", "figure2_table", "figures", "format_series",
     "format_table", "make_scheme", "production_scenario", "quick_scenario",
-    "run_cell", "run_scheme", "run_schemes", "run_sweep", "scheme_spec",
-    "standard_scenario", "standard_topology", "summaries",
-    "tiny_scenario",
+    "run_campaign", "run_cell", "run_scheme", "run_schemes", "run_sweep",
+    "scenario_cache_stats", "scheme_spec", "standard_scenario",
+    "standard_topology", "summaries", "tiny_scenario",
 ]

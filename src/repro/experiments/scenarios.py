@@ -165,18 +165,24 @@ class ScenarioSpec:
 
 def production_scenario(load_factor: float = 1.0,
                         seed: int = DEFAULT_SEED,
-                        request_cap: int = 1500) -> Scenario:
+                        request_cap: int = 1500,
+                        n_days: int = 1,
+                        steps_per_day: int = 24) -> Scenario:
     """Paper-scale instance: 106 nodes / ~226 edges, one simulated day.
 
-    Exercised by the integration smoke test; too slow for the default
-    benchmark loop.  The full synthetic request population at this scale
-    is tens of thousands of requests; the smoke keeps the ``request_cap``
-    largest (which carry most of the volume) so a single-core run stays
-    in the minutes range while every code path sees the full topology.
+    Exercised by the integration smoke test and the campaign runner's
+    paper-scale preset (which stretches the horizon to the paper's
+    5-minute timesteps: ``steps_per_day=288`` over multiple days); too
+    slow for the default benchmark loop.  The full synthetic request
+    population at this scale is tens of thousands of requests; the
+    ``request_cap`` largest are kept (they carry most of the volume) so
+    a single-core run stays in the minutes range while every code path
+    sees the full topology.
     """
     topology = production_wan(seed=seed)
     workload = build_workload(
-        topology, n_days=1, steps_per_day=24, load_factor=load_factor,
+        topology, n_days=n_days, steps_per_day=steps_per_day,
+        load_factor=load_factor,
         values=NormalValues(1.0, 0.5), target_mean_utilization=0.5,
         max_requests_per_pair=5, seed=seed)
     if request_cap and workload.n_requests > request_cap:
@@ -187,7 +193,7 @@ def production_scenario(load_factor: float = 1.0,
                             workload.steps_per_day, workload.load_factor,
                             workload.description + f" [top {request_cap}]")
     return Scenario(topology, workload,
-                    LinkCostModel(topology, billing_window=24))
+                    LinkCostModel(topology, billing_window=steps_per_day))
 
 
 SCENARIO_BUILDERS["production"] = production_scenario

@@ -77,7 +77,16 @@ class RunOptions:
     workers:
         Process-parallelism degree for sweeps (a single run ignores it;
         :func:`repro.experiments.sweep.run_sweep` shards its grid over
-        this many spawned workers).
+        this many persistent workers).
+    chunk_size:
+        Cells per pool task in a parallel sweep.  ``None`` (the default)
+        sizes chunks adaptively from the grid and worker count; an
+        explicit value forces it (the differential suite pins 1, 3 and
+        8 to prove chunk boundaries are unobservable).
+    worker_start:
+        Worker process start method: ``"auto"`` (forkserver with the
+        sweep module preloaded where the platform offers it, else
+        spawn), ``"forkserver"``, or ``"spawn"``.
     """
 
     lp_builder: str | None = None
@@ -94,6 +103,8 @@ class RunOptions:
     telemetry: str | Path | None = None
     trace_tags: tuple[tuple[str, object], ...] = ()
     workers: int = 1
+    chunk_size: int | None = None
+    worker_start: str = "auto"
 
     def __post_init__(self) -> None:
         if self.lp_builder not in (None, "coo", "expr"):
@@ -113,6 +124,13 @@ class RunOptions:
             raise ValueError("solver_maxiter must be positive")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 (or None for "
+                             "adaptive chunking)")
+        if self.worker_start not in ("auto", "spawn", "forkserver"):
+            raise ValueError(
+                f"unknown worker_start {self.worker_start!r}; expected "
+                "'auto', 'spawn' or 'forkserver'")
         if self.faults is not None:
             # Fail at construction, not silently mid-run (same contract
             # as PretiumConfig's eager spec validation).

@@ -1,0 +1,182 @@
+"""Tests for the declarative campaign runner.
+
+A campaign spec (TOML/JSON/dict) must fail loudly at *load* time when it
+names anything unknown — scheme, scenario, figure kind, sweep reference,
+option field — and, once validated, run every sweep through the
+persistent-worker engine and emit a self-contained report artifact
+(Markdown + HTML + ``campaign.json``) whose numbers agree with the
+sweep results it came from.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import (CAMPAIGN_PRESETS, CampaignError,
+                                        CampaignSpec, FIGURE_KINDS,
+                                        campaign_spec, run_campaign)
+from repro.options import RunOptions
+
+
+def smoke_dict(**overrides):
+    """A tiny valid spec dict (2 cells on the tiny world)."""
+    raw = {
+        "campaign": {"name": "t", "title": "T"},
+        "options": {"workers": 1},
+        "sweeps": [{"name": "main", "schemes": ["Pretium", "NoPrices"],
+                    "scenario": "tiny", "loads": [2.0], "seeds": [0]}],
+        "figures": [{"name": "welfare", "kind": "welfare_vs_load",
+                     "sweep": "main"},
+                    {"name": "cells", "kind": "cell_table",
+                     "sweep": "main"}],
+    }
+    raw.update(overrides)
+    return raw
+
+
+# -- spec validation ----------------------------------------------------------
+
+def test_from_dict_builds_a_validated_spec():
+    spec = CampaignSpec.from_dict(smoke_dict())
+    assert spec.name == "t"
+    assert [sweep.name for sweep in spec.sweeps] == ["main"]
+    assert spec.options.workers == 1
+    grid = spec.sweeps[0].grid()
+    assert len(grid) == 2
+    assert grid.scenarios[0].label == "tiny(load_factor=2.0)"
+
+
+@pytest.mark.parametrize("mutate, match", [
+    (lambda raw: raw.pop("sweeps"), "declares no sweeps"),
+    (lambda raw: raw["sweeps"][0].update(schemes=["Nope"]),
+     "unknown scheme"),
+    (lambda raw: raw["sweeps"][0].update(scenario="zz"),
+     "unknown scenario"),
+    (lambda raw: raw["figures"][0].update(sweep="zz"),
+     "references unknown sweep"),
+    (lambda raw: raw["figures"][0].update(kind="nope"), "unknown kind"),
+    (lambda raw: raw.update(bogus={}), "unknown top-level"),
+    (lambda raw: raw["options"].update(wrkers=2), r"unknown \[options\]"),
+    (lambda raw: raw["options"].update(workers=0), r"bad \[options\]"),
+    (lambda raw: raw["sweeps"].append(dict(raw["sweeps"][0])),
+     "duplicate sweep names"),
+    (lambda raw: raw["sweeps"][0].update(bogus=1), "unknown key"),
+])
+def test_bad_specs_fail_at_load_time(mutate, match):
+    raw = smoke_dict()
+    mutate(raw)
+    with pytest.raises(CampaignError, match=match):
+        CampaignSpec.from_dict(raw)
+
+
+def test_spec_files_roundtrip_json_and_toml(tmp_path):
+    spec = CampaignSpec.from_dict(smoke_dict())
+    json_path = tmp_path / "spec.json"
+    json_path.write_text(json.dumps(spec.to_dict()))
+    assert CampaignSpec.from_file(json_path) == spec
+
+    toml_path = tmp_path / "spec.toml"
+    toml_path.write_text(
+        '[campaign]\nname = "t"\ntitle = "T"\n\n'
+        '[options]\nworkers = 1\n\n'
+        '[[sweeps]]\nname = "main"\n'
+        'schemes = ["Pretium", "NoPrices"]\nscenario = "tiny"\n'
+        'loads = [2.0]\nseeds = [0]\n\n'
+        '[[figures]]\nname = "welfare"\nkind = "welfare_vs_load"\n'
+        'sweep = "main"\n\n'
+        '[[figures]]\nname = "cells"\nkind = "cell_table"\n'
+        'sweep = "main"\n')
+    try:
+        import tomllib  # noqa: F401 — gate: stdlib tomllib is 3.11+
+    except ImportError:
+        with pytest.raises(CampaignError, match="tomllib"):
+            CampaignSpec.from_file(toml_path)
+    else:
+        assert CampaignSpec.from_file(toml_path) == spec
+
+    bad = tmp_path / "spec.yaml"
+    bad.write_text("campaign:\n  name: t\n")
+    with pytest.raises(CampaignError, match="unsupported"):
+        CampaignSpec.from_file(bad)
+
+
+def test_campaign_spec_resolver():
+    assert campaign_spec("smoke").name == "smoke"
+    spec = CampaignSpec.from_dict(smoke_dict())
+    assert campaign_spec(spec) is spec
+    assert campaign_spec(smoke_dict()) == spec
+    with pytest.raises(CampaignError, match="neither a campaign preset"):
+        campaign_spec("no-such-preset-or-file")
+
+
+def test_presets_are_valid_specs():
+    for name, raw in CAMPAIGN_PRESETS.items():
+        spec = CampaignSpec.from_dict(raw)
+        assert spec.name == name
+        for figure in spec.figures:
+            assert figure.kind in FIGURE_KINDS
+
+
+# -- execution ----------------------------------------------------------------
+
+def test_run_campaign_writes_report_artifacts(tmp_path):
+    spec = CampaignSpec.from_dict(smoke_dict())
+    result = run_campaign(spec, tmp_path / "out")
+    assert result.ok and result.n_cells == 2
+    assert result.wall_s > 0 and result.max_rss_mb > 0
+
+    markdown = result.report_md.read_text()
+    assert "# Campaign report: T" in markdown
+    assert "welfare" in markdown and "peak RSS" in markdown
+    html = result.report_html.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<table>" in html and "Pretium" in html
+
+    record = json.loads(result.summary_path.read_text())
+    assert record["ok"] is True and record["n_cells"] == 2
+    assert record["spec"]["campaign"]["name"] == "t"
+    stage_names = [stage["stage"] for stage in record["stages"]]
+    assert stage_names == ["sweep:main", "figures", "report"]
+    assert all(stage["wall_s"] >= 0 for stage in record["stages"])
+    # the report's welfare figure agrees with the sweep summaries
+    summaries = {row["scheme"]: row for row in record["sweeps"]["main"]}
+    welfare_rows = {row[0]: float(row[1])
+                    for row in record["figures"]["welfare"]["rows"]}
+    for scheme in ("Pretium", "NoPrices"):
+        assert welfare_rows[scheme] == pytest.approx(
+            summaries[scheme]["welfare"], abs=1e-3)
+
+
+def test_run_campaign_options_override_spec(tmp_path):
+    spec = CampaignSpec.from_dict(smoke_dict())
+    result = run_campaign(spec, tmp_path, options=RunOptions(workers=2))
+    assert result.sweeps["main"].n_workers == 2
+
+
+def test_run_campaign_telemetry_traces_per_sweep(tmp_path):
+    spec = CampaignSpec.from_dict(smoke_dict(telemetry=True))
+    result = run_campaign(spec, tmp_path)
+    assert result.ok
+    trace = tmp_path / "main.jsonl"
+    assert trace.exists()
+    assert list(tmp_path.glob("main.cell-*.jsonl")) == []
+
+
+def test_failed_cells_surface_in_report_and_ok_flag(tmp_path):
+    raw = smoke_dict()
+    raw["sweeps"][0]["scenario_kwargs"] = {"bogus_kwarg": 1}
+    spec = CampaignSpec.from_dict(raw)
+    result = run_campaign(spec, tmp_path)
+    assert not result.ok
+    assert len(result.failures) == 2
+    markdown = result.report_md.read_text()
+    assert "## Failures" in markdown and "bogus_kwarg" in markdown
+    record = json.loads(result.summary_path.read_text())
+    assert record["ok"] is False and record["n_failures"] == 2
+
+
+def test_smoke_preset_runs_end_to_end(tmp_path):
+    result = run_campaign(campaign_spec("smoke"), tmp_path)
+    assert result.ok and result.n_cells == 2
+    assert (tmp_path / "report.md").exists()
+    assert (tmp_path / "main.jsonl").exists()  # preset asks for telemetry

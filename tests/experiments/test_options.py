@@ -25,6 +25,7 @@ def test_defaults_ask_for_nothing():
     assert options.config_overrides() == {}
     assert options.faults is None and options.telemetry is None
     assert options.workers == 1
+    assert options.chunk_size is None and options.worker_start == "auto"
 
 
 @pytest.mark.parametrize("kwargs", [
@@ -35,6 +36,9 @@ def test_defaults_ask_for_nothing():
     dict(solver_time_limit=0),
     dict(solver_maxiter=0),
     dict(workers=0),
+    dict(chunk_size=0),
+    dict(chunk_size=-3),
+    dict(worker_start="fork"),
 ])
 def test_invalid_values_rejected_eagerly(kwargs):
     with pytest.raises(ValueError):

@@ -3,7 +3,7 @@
 import pytest
 
 import repro
-from repro.api import AuditReport, RunReport, run, sweep, audit
+from repro.api import AuditReport, RunReport, audit, campaign, run, sweep
 from repro.experiments.scenarios import ScenarioSpec, tiny_scenario
 from repro.options import RunOptions
 
@@ -12,6 +12,7 @@ def test_package_reexports_the_facade():
     assert repro.run is run
     assert repro.sweep is sweep
     assert repro.audit is audit
+    assert repro.campaign is campaign
     assert repro.RunOptions is RunOptions
     for name in repro.__all__:
         assert getattr(repro, name) is not None
@@ -59,6 +60,28 @@ def test_sweep_rejects_unknown_grid_keys():
         sweep({"scheme": ["Pretium"]})
     with pytest.raises(TypeError, match="cannot interpret"):
         sweep(["Pretium"])
+
+
+def test_campaign_facade_accepts_preset_dict_and_spec(tmp_path):
+    from repro.experiments.campaign import CampaignError, CampaignSpec
+
+    result = campaign("smoke", tmp_path / "preset",
+                      options=RunOptions(workers=1))
+    assert isinstance(result, repro.CampaignResult)
+    assert result.ok and result.n_cells == 2
+    assert result.sweeps["main"].n_workers == 1  # override beat the spec
+    assert result.report_md.exists()
+
+    raw = {"campaign": {"name": "d"},
+           "sweeps": [{"name": "s", "schemes": ["NoPrices"],
+                       "scenario": "tiny", "seeds": [0]}]}
+    by_dict = campaign(raw, tmp_path / "dict")
+    assert by_dict.ok and by_dict.n_cells == 1
+    by_spec = campaign(CampaignSpec.from_dict(raw), tmp_path / "spec")
+    assert by_spec.ok
+
+    with pytest.raises(CampaignError, match="neither a campaign preset"):
+        campaign("no-such-campaign", tmp_path / "x")
 
 
 def test_run_with_trace_reports_its_path(tmp_path):

@@ -326,6 +326,77 @@ def test_run_accepts_workers_and_knob_flags(tmp_path, capsys):
     assert "welfare" in capsys.readouterr().out
 
 
+# -- campaign subcommand ------------------------------------------------------
+
+def test_campaign_list_presets(capsys):
+    assert main(["campaign", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "smoke:" in out and "paper-scale:" in out
+
+
+def test_campaign_runs_smoke_preset_to_report(tmp_path, capsys):
+    out_dir = tmp_path / "out"
+    code = main(["campaign", "smoke", "--out-dir", str(out_dir),
+                 "--workers", "2", "--chunk-size", "1"])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "2 cell(s), 0 failed" in printed
+    assert "peak RSS" in printed
+    assert (out_dir / "report.md").exists()
+    assert (out_dir / "report.html").exists()
+    assert (out_dir / "campaign.json").exists()
+    record = json.loads((out_dir / "campaign.json").read_text())
+    assert record["ok"] is True
+    # the preset's telemetry trace is audit-ready
+    capsys.readouterr()
+    assert main(["telemetry", "audit", str(out_dir / "main.jsonl")]) == 0
+    assert "audit clean" in capsys.readouterr().out
+
+
+def test_campaign_runs_spec_file(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "campaign": {"name": "mini", "title": "Mini"},
+        "sweeps": [{"name": "s", "schemes": ["NoPrices"],
+                    "scenario": "tiny", "seeds": [0]}],
+        "figures": [{"name": "cells", "kind": "cell_table",
+                     "sweep": "s"}]}))
+    out_dir = tmp_path / "out"
+    assert main(["campaign", str(spec_path),
+                 "--out-dir", str(out_dir)]) == 0
+    assert "1 cell(s), 0 failed" in capsys.readouterr().out
+    assert "Mini" in (out_dir / "report.md").read_text()
+
+
+def test_campaign_rejects_bad_specs(tmp_path, capsys):
+    assert main(["campaign"]) == 2
+    assert "preset name or spec path" in capsys.readouterr().err
+    assert main(["campaign", "no-such-campaign"]) == 2
+    assert "neither a campaign preset" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"campaign": {"name": "x"}}))
+    assert main(["campaign", str(bad)]) == 2
+    assert "declares no sweeps" in capsys.readouterr().err
+
+
+def test_campaign_reports_cell_failures(tmp_path, capsys, monkeypatch):
+    from repro.experiments import runner as runner_module
+    from repro.experiments.runner import SCHEME_SPECS
+    broken = SCHEME_SPECS["NoPrices"].with_kwargs(explode=True)
+    monkeypatch.setitem(runner_module.SCHEME_SPECS, "NoPrices", broken)
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "campaign": {"name": "f"},
+        "sweeps": [{"name": "s", "schemes": ["NoPrices", "OPT"],
+                    "scenario": "tiny", "seeds": [0]}]}))
+    code = main(["campaign", str(spec_path),
+                 "--out-dir", str(tmp_path / "out")])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "1 failed" in captured.out
+    assert "explode" in captured.err
+
+
 # -- serve --------------------------------------------------------------------
 
 def test_serve_runs_load_and_writes_report(tmp_path, capsys):
