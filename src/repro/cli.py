@@ -41,6 +41,15 @@ Commands
     (``--format prom``).
 ``telemetry timeline``
     Print one request's full economic history from a trace.
+``telemetry flame``
+    Aggregate a trace's span trees into self-time attribution and emit
+    collapsed-stack flamegraph lines (``--format collapsed``, the
+    flamegraph.pl / speedscope input) or a self-time ranking table.
+``perfgate``
+    Diff a fresh ``BENCH_PERF.json`` against the committed
+    ``benchmarks/baseline.json`` with per-benchmark tolerances; exits
+    nonzero on regression and appends to ``BENCH_HISTORY.jsonl`` (the
+    CI perf gate).
 """
 
 from __future__ import annotations
@@ -64,8 +73,9 @@ from .faults import FaultSpecError
 from .network import wan_topology
 from .options import RunOptions
 from .sim import save_summary
-from .telemetry import (audit_events, chrome_trace_json, prometheus_text,
-                        read_trace, report_trace, timeline, unwaived)
+from .telemetry import (audit_events, chrome_trace_json, flame_report,
+                        prometheus_text, read_trace, report_trace,
+                        timeline, unwaived)
 from .traffic import NormalValues, build_workload, load_workload, \
     save_workload
 
@@ -179,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the spec's cells-per-task chunking")
     camp.add_argument("--list", action="store_true", dest="list_presets",
                       help="list the built-in campaign presets and exit")
+    camp.add_argument("--metrics-port", type=int, metavar="PORT",
+                      help="serve live fleet-wide /metrics, /healthz and "
+                           "/snapshot on this localhost port while the "
+                           "campaign runs (0 = ephemeral)")
 
     srv = sub.add_parser("serve", help="run the live admission service "
                                        "under synthetic open-loop load")
@@ -207,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "budgets degrade to current-price menus")
     srv.add_argument("--max-pending", type=int, default=1024, metavar="N",
                      help="backpressure bound on in-flight submissions")
+    srv.add_argument("--metrics-port", type=int, metavar="PORT",
+                     help="serve live /metrics (Prometheus), /healthz "
+                          "and /snapshot on this localhost port for the "
+                          "service's lifetime (0 = ephemeral)")
     srv.add_argument("--telemetry", metavar="PATH",
                      help="write a JSONL trace of the service run "
                           "(audit-ready: the books balance)")
@@ -259,6 +277,36 @@ def build_parser() -> argparse.ArgumentParser:
     tml.add_argument("--cell", type=int, metavar="INDEX",
                      help="restrict to one sweep cell of a merged trace "
                           "(request ids repeat across cells)")
+
+    flm = tel_sub.add_parser("flame", help="span-tree self-time profile: "
+                                           "collapsed-stack flamegraph "
+                                           "lines or a ranking table")
+    flm.add_argument("trace", help="trace file from run --telemetry")
+    flm.add_argument("--format", default="collapsed",
+                     choices=["collapsed", "table"],
+                     help="collapsed: flamegraph.pl/speedscope input "
+                          "(stack <microseconds>); table: spans ranked "
+                          "by self time")
+    flm.add_argument("--out", help="write here instead of stdout")
+
+    gate = sub.add_parser("perfgate",
+                          help="diff a BENCH_PERF.json roll-up against "
+                               "the committed perf baseline; nonzero "
+                               "exit on regression")
+    gate.add_argument("--current", default="BENCH_PERF.json",
+                      metavar="PATH",
+                      help="fresh roll-up to judge (default: "
+                           "./BENCH_PERF.json)")
+    gate.add_argument("--baseline", default="benchmarks/baseline.json",
+                      metavar="PATH",
+                      help="committed baseline (default: "
+                           "./benchmarks/baseline.json)")
+    gate.add_argument("--history", metavar="PATH",
+                      help="append this run to a BENCH_HISTORY.jsonl "
+                           "trajectory file")
+    gate.add_argument("--update", action="store_true",
+                      help="rewrite the baseline from --current instead "
+                           "of judging (the deliberate-ratchet path)")
     return parser
 
 
@@ -435,8 +483,13 @@ def _cmd_campaign(args) -> int:
     print(f"campaign {spec.name!r}: {len(spec.sweeps)} sweep(s), "
           f"{total} cell(s), {len(spec.figures)} figure(s) -> "
           f"{args.out_dir}")
+    if args.metrics_port is not None:
+        print(f"live metrics on 127.0.0.1:{args.metrics_port or 'auto'} "
+              "(/metrics, /healthz, /snapshot) for the campaign's "
+              "duration", file=sys.stderr)
     result = api.campaign(spec, args.out_dir, options=options,
-                          progress=_sweep_progress)
+                          progress=_sweep_progress,
+                          metrics_port=args.metrics_port)
     print(format_table(["stage", "wall_s", "detail"],
                        [[stage.stage, f"{stage.wall_s:.2f}", stage.detail]
                         for stage in result.stages]))
@@ -462,7 +515,7 @@ def _cmd_serve(args) -> int:
         service_options = ServiceOptions(
             batch_window=args.batch_window, batch_max=args.batch_max,
             cache_size=args.cache_size, quote_deadline=args.quote_deadline,
-            max_pending=args.max_pending)
+            max_pending=args.max_pending, metrics_port=args.metrics_port)
     except (FaultSpecError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -475,6 +528,9 @@ def _cmd_serve(args) -> int:
           f"price_checks={args.price_checks}")
     with api.serve(args.scheme, scenario, options=options,
                    service_options=service_options) as svc:
+        if svc.service.metrics_server is not None:
+            print(f"live metrics at {svc.service.metrics_server.url}"
+                  "/metrics (also /healthz, /snapshot)", file=sys.stderr)
         report = generate_load(svc.service, requests, rate=args.rate,
                                price_checks=args.price_checks)
         cache = {name: metric.value
@@ -616,6 +672,15 @@ def _cmd_telemetry(args) -> int:
                       f"in {where}", file=sys.stderr)
                 return 1
             return 0
+        if args.telemetry_command == "flame":
+            payload = flame_report(events, fmt=args.format)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                print(f"wrote {args.format} profile to {args.out}")
+            else:
+                print(payload, end="" if payload.endswith("\n") else "\n")
+            return 0
     except FileNotFoundError:
         print(f"error: no such trace file: {args.trace}", file=sys.stderr)
         return 1
@@ -624,6 +689,12 @@ def _cmd_telemetry(args) -> int:
         return 1
     raise AssertionError(
         f"unhandled telemetry command {args.telemetry_command!r}")
+
+
+def _cmd_perfgate(args) -> int:
+    from .telemetry.perfgate import gate
+    return gate(args.current, args.baseline, history_path=args.history,
+                update_baseline=args.update)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -647,6 +718,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list_figures()
     if args.command == "telemetry":
         return _cmd_telemetry(args)
+    if args.command == "perfgate":
+        return _cmd_perfgate(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

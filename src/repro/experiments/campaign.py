@@ -394,6 +394,11 @@ class CampaignResult:
     report_md: Path
     report_html: Path
     summary_path: Path
+    #: Fleet-merged metrics snapshot across every sweep's cells
+    #: (counters summed, histograms bucket-merged, gauges per-worker).
+    fleet_metrics: dict = field(default_factory=dict)
+    #: Campaign-level SLO evaluation over the fleet metrics.
+    slo: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -422,9 +427,27 @@ def _peak_rss_mb() -> float:
     return peak * scale / 1024.0
 
 
+def _campaign_slo(registry) -> "object":
+    """The campaign-flavoured SLO tracker: batch-run objectives.
+
+    Campaigns run the batch engine, not the live service, so the error
+    budget burns on engine step failures against decided requests and
+    the degraded objective tracks resilience fallbacks.  The
+    quote-latency objective stays on the service metric — absent in a
+    pure batch campaign, it simply reports no data.
+    """
+    from ..telemetry.live import SLOTracker
+    return SLOTracker(registry,
+                      total_metrics=("pretium.admitted",
+                                     "pretium.rejected"),
+                      error_metrics=("engine.failures",),
+                      degraded_metrics=("resilience.fallbacks",))
+
+
 def run_campaign(spec: CampaignSpec, out_dir: str | Path,
                  options: RunOptions | None = None,
-                 progress: Callable | None = None) -> CampaignResult:
+                 progress: Callable | None = None,
+                 metrics_port: int | None = None) -> CampaignResult:
     """Execute a campaign spec and write its report artifact.
 
     ``out_dir`` receives ``report.md``, ``report.html``,
@@ -434,29 +457,57 @@ def run_campaign(spec: CampaignSpec, out_dir: str | Path,
     override start from ``spec.options.replace(...)`` — the CLI maps
     ``--workers``/``--chunk-size`` that way).  ``progress`` is
     forwarded to every underlying :func:`run_sweep`.
+
+    ``metrics_port`` (``--metrics-port``) starts a live
+    :class:`~repro.telemetry.live.LiveMetricsServer` on localhost for
+    the campaign's duration: as worker cells finish, their metrics merge
+    into this process's registry, so ``/metrics`` and ``/snapshot``
+    track fleet-wide progress of a multi-hour run mid-flight.
     """
+    from ..telemetry import get_registry
+    from ..telemetry.fleet import fleet_registry_from_cells
+
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     run_options = spec.options if options is None else options
 
+    live_server = None
+    if metrics_port is not None:
+        from ..telemetry.live import LiveMetricsServer
+        live_server = LiveMetricsServer(
+            get_registry(), port=metrics_port,
+            slo=_campaign_slo(get_registry())).start()
+
     begin = time.perf_counter()
     stages: list[StageTiming] = []
     sweeps: dict[str, SweepResult] = {}
-    for sweep_spec in spec.sweeps:
-        sweep_options = run_options
-        if spec.telemetry:
-            sweep_options = sweep_options.replace(
-                telemetry=out_dir / f"{sweep_spec.name}.jsonl")
-        stage_begin = time.perf_counter()
-        result = run_sweep(sweep_spec.grid(), options=sweep_options,
-                           progress=progress)
-        sweeps[sweep_spec.name] = result
-        stages.append(StageTiming(
-            stage=f"sweep:{sweep_spec.name}",
-            wall_s=time.perf_counter() - stage_begin,
-            detail=f"{len(result.cells)} cells, "
-                   f"{result.n_workers} worker(s), "
-                   f"{len(result.failures)} failed"))
+    try:
+        for sweep_spec in spec.sweeps:
+            sweep_options = run_options
+            if spec.telemetry:
+                sweep_options = sweep_options.replace(
+                    telemetry=out_dir / f"{sweep_spec.name}.jsonl")
+            stage_begin = time.perf_counter()
+            result = run_sweep(sweep_spec.grid(), options=sweep_options,
+                               progress=progress)
+            sweeps[sweep_spec.name] = result
+            stages.append(StageTiming(
+                stage=f"sweep:{sweep_spec.name}",
+                wall_s=time.perf_counter() - stage_begin,
+                detail=f"{len(result.cells)} cells, "
+                       f"{result.n_workers} worker(s), "
+                       f"{len(result.failures)} failed"))
+    finally:
+        if live_server is not None:
+            live_server.stop()
+
+    # The standalone fleet view: rebuilt from the cells themselves, so
+    # the report is identical whether or not a live endpoint (or an
+    # unrelated run sharing the process registry) was active.
+    fleet = fleet_registry_from_cells(
+        cell for result in sweeps.values() for cell in result.cells)
+    fleet_metrics = fleet.snapshot()
+    slo_status = _campaign_slo(fleet).status()
 
     stage_begin = time.perf_counter()
     figures: dict[str, dict] = {}
@@ -478,7 +529,8 @@ def run_campaign(spec: CampaignSpec, out_dir: str | Path,
                             figures=figures, stages=stages, wall_s=wall_s,
                             max_rss_mb=max_rss_mb, report_md=report_md,
                             report_html=report_html,
-                            summary_path=summary_path)
+                            summary_path=summary_path,
+                            fleet_metrics=fleet_metrics, slo=slo_status)
     report_md.write_text(render_markdown(result), encoding="utf-8")
     report_html.write_text(render_html(result), encoding="utf-8")
     stages.append(StageTiming(stage="report",
@@ -505,6 +557,8 @@ def campaign_record(result: CampaignResult) -> dict:
         "sweeps": {name: sweep.summaries()
                    for name, sweep in result.sweeps.items()},
         "figures": result.figures,
+        "fleet_metrics": result.fleet_metrics,
+        "slo": result.slo,
     }
 
 
@@ -513,6 +567,45 @@ def campaign_record(result: CampaignResult) -> dict:
 def _stage_rows(result: CampaignResult) -> list[list]:
     return [[stage.stage, f"{stage.wall_s:.2f}", stage.detail]
             for stage in result.stages]
+
+
+def _slo_rows(slo: dict) -> list[list]:
+    rows = []
+    for name, objective in (slo.get("objectives") or {}).items():
+        if not objective:
+            rows.append([name, "-", "-", "no data"])
+            continue
+        if name == "quote_latency":
+            observed = f"p99 {objective['p99_ms']:.2f} ms"
+            target = ("-" if objective.get("target_ms") is None
+                      else f"<= {objective['target_ms']:g} ms")
+        elif name == "error_budget":
+            observed = f"burn {objective['burn']:.3f}"
+            target = "<= 1.0"
+        else:
+            observed = f"rate {objective['rate']:.4f}"
+            target = f"<= {objective['target']:g}"
+        ok = objective.get("ok")
+        status = "n/a" if ok is None else ("met" if ok else "VIOLATED")
+        rows.append([name, observed, target, status])
+    return rows
+
+
+def _fleet_metric_rows(fleet_metrics: dict) -> list[list]:
+    rows = []
+    for name in sorted(fleet_metrics):
+        value = fleet_metrics[name]
+        if isinstance(value, dict):  # histogram summary
+            if not value.get("count"):
+                continue
+            rows.append([name, f"count={value['count']} "
+                               f"p50={value['p50']:.4g} "
+                               f"p99={value['p99']:.4g}"])
+        elif isinstance(value, float):
+            rows.append([name, f"{value:g}"])
+        else:
+            rows.append([name, value])
+    return rows
 
 
 def render_markdown(result: CampaignResult) -> str:
@@ -533,6 +626,17 @@ def render_markdown(result: CampaignResult) -> str:
         format_table(["stage", "wall_s", "detail"], _stage_rows(result)),
         "",
     ]
+    if result.slo:
+        lines += ["## SLO", "",
+                  format_table(["objective", "observed", "target",
+                                "status"], _slo_rows(result.slo)), ""]
+    if result.fleet_metrics:
+        lines += ["## Fleet metrics", "",
+                  "*Merged across every worker cell: counters summed, "
+                  "histograms merged by bucket, gauges per-worker.*", "",
+                  format_table(["metric", "value"],
+                               _fleet_metric_rows(result.fleet_metrics)),
+                  ""]
     for name, figure in result.figures.items():
         lines += [f"## {name}", ""]
         if figure.get("caption"):
@@ -599,6 +703,15 @@ def render_html(result: CampaignResult) -> str:
         caption="run facts")
     parts.append("<h2>Stages</h2>")
     parts += _html_table(["stage", "wall_s", "detail"], _stage_rows(result))
+    if result.slo:
+        parts.append("<h2>SLO</h2>")
+        parts += _html_table(["objective", "observed", "target", "status"],
+                             _slo_rows(result.slo))
+    if result.fleet_metrics:
+        parts.append("<h2>Fleet metrics</h2>")
+        parts += _html_table(
+            ["metric", "value"], _fleet_metric_rows(result.fleet_metrics),
+            caption="merged across every worker cell")
     for name, figure in result.figures.items():
         parts.append(f"<h2>{escape(name)}</h2>")
         parts += _html_table(figure["columns"], figure["rows"],

@@ -73,7 +73,8 @@ import numpy as np
 
 from ..options import RunOptions, coerce_options
 from ..sim import summarize
-from ..telemetry import merge_traces
+from ..telemetry import get_registry, merge_traces, use_registry
+from ..telemetry.fleet import fleet_registry_from_cells
 from .runner import SchemeSpec, run_scheme, scheme_spec
 from .scenarios import Scenario, ScenarioSpec
 
@@ -172,6 +173,7 @@ class CellResult:
     duration: float = 0.0
     trace_path: str | None = None
     cache_hit: bool = False
+    metrics: dict = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -194,6 +196,17 @@ class SweepResult:
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def fleet_metrics(self):
+        """The fleet-wide metrics registry merged from every cell.
+
+        Each cell carries its worker's registry dump
+        (``CellResult.metrics``); this merges them — counters sum,
+        histograms merge by bucket, gauges stay per-worker — into one
+        fresh :class:`~repro.telemetry.MetricsRegistry` covering the
+        whole pool, regardless of how cells were scheduled.
+        """
+        return fleet_registry_from_cells(self.cells)
 
     def summaries(self) -> list[dict]:
         """JSON-friendly per-cell records (summary + cell identity)."""
@@ -270,6 +283,7 @@ def clear_scenario_cache() -> None:
     """Drop every cached build and zero the counters (test isolation)."""
     _scenario_cache.clear()
     _scenario_cache_stats.update(hits=0, misses=0)
+    _scenario_cache_reported.update(hits=0, misses=0)
 
 
 # -- the unit of work ---------------------------------------------------------
@@ -291,6 +305,13 @@ def run_cell(cell: SweepCell, options: RunOptions | None = None,
     cell seed on a miss); with ``trace_base`` set, telemetry lands in
     the cell's own shard, tagged with the cell id and this process's
     pid.
+
+    The cell executes under a scoped registry whose mergeable dump is
+    attached to the result (``CellResult.metrics``): run metrics roll up
+    into it (``run_context`` merges its scoped registry outward on
+    exit), plus the sweep's own ``sweep.*`` counters and this worker's
+    gauges — scenario-cache hit rate, peak RSS — so the parent can
+    aggregate a fleet-wide view.
     """
     begin = time.perf_counter()
     pid = os.getpid()
@@ -307,28 +328,67 @@ def run_cell(cell: SweepCell, options: RunOptions | None = None,
         # run_context() short-circuits past the tracer machinery.
         cell_options = cell_options.replace(telemetry=None, workers=1,
                                             trace_tags=())
+    with use_registry() as registry:
+        try:
+            scenario, cache_hit = cached_scenario(cell.scenario, cell.seed)
+            result = run_scheme(cell.scheme, scenario, options=cell_options)
+            summary = summarize(result, scenario.cost_model)
+            registry.counter("sweep.cells").inc()
+            _record_worker_stats(registry)
+            return CellResult(
+                index=cell.index, scheme=cell.scheme.name,
+                scenario=cell.scenario.label, seed=cell.seed, ok=True,
+                summary=summary, delivered=dict(result.delivered),
+                payments=dict(result.payments), chosen=dict(result.chosen),
+                loads=result.loads,
+                n_failures=len(result.extras.get("failures", ())),
+                worker=pid, duration=time.perf_counter() - begin,
+                trace_path=None if trace_path is None else str(trace_path),
+                cache_hit=cache_hit, metrics=registry.dump())
+        except Exception as exc:  # noqa: BLE001 — structured capture is the point
+            registry.counter("sweep.cells").inc()
+            registry.counter("sweep.cell_failures").inc()
+            _record_worker_stats(registry)
+            return CellResult(
+                index=cell.index, scheme=cell.scheme.name,
+                scenario=cell.scenario.label, seed=cell.seed, ok=False,
+                error=type(exc).__name__, detail=str(exc),
+                traceback=traceback.format_exc(), worker=pid,
+                duration=time.perf_counter() - begin,
+                trace_path=None if trace_path is None else str(trace_path),
+                metrics=registry.dump())
+
+
+def _record_worker_stats(registry) -> None:
+    """This worker's cache hit/miss deltas and peak RSS into ``registry``.
+
+    Cache hits/misses are recorded as the *change* since the worker's
+    cumulative stats were last sampled, so summing the per-cell counters
+    across the fleet gives the true pool-wide totals (sampling the
+    cumulative value per cell would double-count).
+    """
+    stats = scenario_cache_stats()
+    last = _scenario_cache_reported
+    registry.counter("sweep.scenario_cache.hits").inc(
+        stats["hits"] - last["hits"])
+    registry.counter("sweep.scenario_cache.misses").inc(
+        stats["misses"] - last["misses"])
+    last.update(hits=stats["hits"], misses=stats["misses"])
+    lookups = stats["hits"] + stats["misses"]
+    if lookups:
+        registry.gauge("sweep.scenario_cache.hit_rate").set(
+            stats["hits"] / lookups)
     try:
-        scenario, cache_hit = cached_scenario(cell.scenario, cell.seed)
-        result = run_scheme(cell.scheme, scenario, options=cell_options)
-        summary = summarize(result, scenario.cost_model)
-        return CellResult(
-            index=cell.index, scheme=cell.scheme.name,
-            scenario=cell.scenario.label, seed=cell.seed, ok=True,
-            summary=summary, delivered=dict(result.delivered),
-            payments=dict(result.payments), chosen=dict(result.chosen),
-            loads=result.loads,
-            n_failures=len(result.extras.get("failures", ())),
-            worker=pid, duration=time.perf_counter() - begin,
-            trace_path=None if trace_path is None else str(trace_path),
-            cache_hit=cache_hit)
-    except Exception as exc:  # noqa: BLE001 — structured capture is the point
-        return CellResult(
-            index=cell.index, scheme=cell.scheme.name,
-            scenario=cell.scenario.label, seed=cell.seed, ok=False,
-            error=type(exc).__name__, detail=str(exc),
-            traceback=traceback.format_exc(), worker=pid,
-            duration=time.perf_counter() - begin,
-            trace_path=None if trace_path is None else str(trace_path))
+        import resource
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        registry.gauge("worker.peak_rss_mb").set(rss_kb / 1024.0)
+    except (ImportError, ValueError):  # platforms without getrusage
+        pass
+
+
+#: Cumulative cache stats already attributed to earlier cells of this
+#: process (so per-cell counter deltas sum correctly across the fleet).
+_scenario_cache_reported = {"hits": 0, "misses": 0}
 
 
 def run_chunk(chunk: list[SweepCell], options: RunOptions | None = None,
@@ -485,10 +545,17 @@ def run_sweep(grid: SweepGrid, options: RunOptions | None = None,
     results: list[CellResult | None] = [None] * total
     done = 0
 
+    parent_registry = get_registry()
+
     def _collect(result: CellResult) -> None:
         nonlocal done
         done += 1
         results[result.index] = result
+        if result.metrics:
+            # Live aggregation: the sweeping process's registry (and any
+            # /metrics endpoint serving it) reflects the fleet as cells
+            # finish, not only after the sweep returns.
+            parent_registry.merge_dump(result.metrics, worker=result.worker)
         if progress is not None:
             progress(done, total, result)
 

@@ -184,6 +184,17 @@ class ServiceOptions:
         Backpressure bound: submissions in flight (queued or being
         processed) beyond this block the submitting thread until the
         loop drains, or fail fast when the caller asked not to wait.
+    metrics_port:
+        When set, the service starts a
+        :class:`~repro.telemetry.live.LiveMetricsServer` on this
+        localhost port (``/metrics`` Prometheus exposition, ``/healthz``,
+        ``/snapshot``) for its lifetime.  ``0`` binds an ephemeral port
+        (read it back from ``service.metrics_server.port``); ``None``
+        (default) serves nothing.
+    metrics_snapshot_period:
+        Sampling period, seconds, for the live server's history ring
+        (the short time series ``/snapshot`` returns).  ``0`` disables
+        the ring; ignored without ``metrics_port``.
     """
 
     batch_window: float = 0.0
@@ -191,6 +202,8 @@ class ServiceOptions:
     cache_size: int = 1024
     quote_deadline: float | None = None
     max_pending: int = 1024
+    metrics_port: int | None = None
+    metrics_snapshot_period: float = 1.0
 
     def __post_init__(self) -> None:
         if self.batch_window < 0:
@@ -203,6 +216,12 @@ class ServiceOptions:
             raise ValueError("quote_deadline must be positive")
         if self.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if self.metrics_port is not None and \
+                not 0 <= self.metrics_port <= 65535:
+            raise ValueError("metrics_port must be in [0, 65535] "
+                             "(0 binds an ephemeral port)")
+        if self.metrics_snapshot_period < 0:
+            raise ValueError("metrics_snapshot_period must be >= 0")
 
     def replace(self, **changes) -> "ServiceOptions":
         """A copy with ``changes`` applied (``dataclasses.replace``)."""
@@ -266,18 +285,21 @@ def run_context(options: RunOptions | None):
         # the no-telemetry path must not pay for imports or scope setup.
         yield env
         return
-    from .telemetry import TagSink, TraceWriter, Tracer, use_registry, \
-        use_tracer
+    from .telemetry import TagSink, TraceWriter, Tracer, get_registry, \
+        use_registry, use_tracer
     with ExitStack() as stack:
         if options.faults is not None:
             from .faults import FaultInjector, use_injector
             env.injector = FaultInjector.from_spec(options.faults,
                                                   seed=options.fault_seed)
             stack.enter_context(use_injector(env.injector))
+        registry = None
+        outer_registry = None
         if options.telemetry is not None:
             path = Path(options.telemetry)
             if path.parent != Path("."):
                 path.parent.mkdir(parents=True, exist_ok=True)
+            outer_registry = get_registry()
             registry = stack.enter_context(use_registry())
             sink = TraceWriter(path)
             if options.trace_tags:
@@ -290,3 +312,9 @@ def run_context(options: RunOptions | None):
             if env.tracer is not None:
                 env.tracer.emit_metrics()
                 env.tracer.close()
+            if registry is not None:
+                # Roll the scoped registry up into the enclosing one, so
+                # an outer observer — a sweep worker capturing per-cell
+                # metrics, a campaign's live /metrics endpoint — still
+                # sees runs that installed their own scoped registry.
+                outer_registry.merge_dump(registry.dump())

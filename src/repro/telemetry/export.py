@@ -88,8 +88,28 @@ def chrome_trace_json(events: list[dict]) -> str:
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 _FIRST_OK = re.compile(r"^[a-zA-Z_:]")
 
+#: Trailing ``[key=value]`` suffix on a metric name — the fleet merge
+#: scopes per-worker gauges this way; exposition turns it into a label.
+_LABEL_SUFFIX = re.compile(r"^(?P<base>.*)\[(?P<key>[^=\]]+)=(?P<value>[^\]]*)\]$")
+
 #: Histogram summary keys exported as quantile samples.
 _QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+#: HELP text for well-known metric families (best effort; families
+#: without an entry get a generated one-liner).
+_HELP_TEXTS = {
+    "service.latency_ms": "End-to-end admission latency per answered "
+                          "request (milliseconds).",
+    "service.queue_ms": "Time a request waited in the service queue "
+                        "(milliseconds).",
+    "service.admitted": "Requests admitted by the live service.",
+    "service.rejected": "Requests rejected by the live service.",
+    "service.degraded": "Requests answered on a degraded path.",
+    "service.errors": "Requests that failed with an engine error.",
+    "service.overloaded": "Requests shed by backpressure.",
+    "pretium.admitted": "Requests the pricing scheme admitted.",
+    "pretium.rejected": "Requests the pricing scheme rejected.",
+}
 
 
 def prometheus_name(name: str) -> str:
@@ -100,40 +120,107 @@ def prometheus_name(name: str) -> str:
     return out
 
 
-def prometheus_text(events: list[dict]) -> str | None:
-    """Prometheus text exposition of a trace's final metrics snapshot.
+def escape_label_value(value) -> str:
+    r"""A label value escaped per the exposition format (``\\``, ``\"``,
+    ``\n``)."""
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
 
-    Counters/gauges become typed scalar samples; histogram summaries
-    become ``summary`` metrics (quantile samples plus ``_sum`` and
-    ``_count``).  Returns ``None`` when the trace carries no metrics
-    event.  Metric kinds come from the snapshot's ``kinds`` map when the
-    trace recorded one; untyped metrics fall back to ``gauge``.
+
+def _split_labels(name: str) -> tuple[str, str]:
+    """Split trailing ``[key=value]`` suffixes off a metric name.
+
+    Returns ``(base_name, label_string)`` where the label string is
+    either empty or a rendered ``{key="value",...}`` block with escaped
+    values.  ``service.queue_depth[worker=4242]`` becomes
+    ``("service.queue_depth", '{worker="4242"}')``.
     """
-    snapshot, kinds = None, {}
-    for event in events:
-        if event.get("type") == "metrics":
-            snapshot = event.get("metrics", {})
-            kinds = event.get("kinds", {})
-    if snapshot is None:
-        return None
-    lines = []
+    labels = []
+    while True:
+        match = _LABEL_SUFFIX.match(name)
+        if match is None:
+            break
+        name = match.group("base")
+        labels.insert(0, (match.group("key"), match.group("value")))
+    if not labels:
+        return name, ""
+    rendered = ",".join(
+        f'{prometheus_name(key)}="{escape_label_value(value)}"'
+        for key, value in labels)
+    return name, "{" + rendered + "}"
+
+
+def prometheus_exposition(snapshot: dict, kinds: dict | None = None,
+                          help_texts: dict | None = None) -> str:
+    """Prometheus text exposition of a metrics snapshot.
+
+    Every family gets a ``# HELP`` and ``# TYPE`` line.  Counters and
+    gauges become typed scalar samples; histogram summaries become
+    ``summary`` families (quantile samples plus ``_sum``/``_count``).
+    Worker-scoped names (``name[worker=4242]``) collapse into one family
+    with a ``worker`` label; label values are escaped per the format.
+    Kinds default to ``gauge`` for untyped scalars.
+    """
+    kinds = kinds or {}
+    help_texts = dict(_HELP_TEXTS, **(help_texts or {}))
+    # Group samples by family so a labelled fleet of gauges shares one
+    # HELP/TYPE header, as the exposition format requires.
+    families: dict[str, dict] = {}
     for name in sorted(snapshot):
+        base, labels = _split_labels(name)
         value = snapshot[name]
-        prom = prometheus_name(name)
-        kind = kinds.get(name)
+        kind = kinds.get(name) or kinds.get(base)
         if isinstance(value, dict):
-            lines.append(f"# TYPE {prom} summary")
-            for key, quantile in _QUANTILES:
-                if key in value:
-                    lines.append(f'{prom}{{quantile="{quantile}"}} '
-                                 f'{_sample(value[key])}')
-            lines.append(f"{prom}_sum {_sample(value.get('sum', 0.0))}")
-            lines.append(f"{prom}_count {_sample(value.get('count', 0))}")
+            family_kind = "summary"
+        elif kind in ("counter", "gauge"):
+            family_kind = kind
         else:
-            prom_kind = kind if kind in ("counter", "gauge") else "gauge"
-            lines.append(f"# TYPE {prom} {prom_kind}")
-            lines.append(f"{prom} {_sample(value)}")
+            family_kind = "gauge"
+        family = families.setdefault(base, {"kind": family_kind,
+                                            "samples": []})
+        family["samples"].append((labels, value))
+    lines = []
+    for base in sorted(families):
+        family = families[base]
+        prom = prometheus_name(base)
+        help_text = help_texts.get(
+            base, f"{base} ({family['kind']}) from the repro metrics "
+                  "registry.")
+        lines.append(f"# HELP {prom} {escape_label_value(help_text)}")
+        lines.append(f"# TYPE {prom} {family['kind']}")
+        for labels, value in family["samples"]:
+            if isinstance(value, dict):
+                for key, quantile in _QUANTILES:
+                    if key in value:
+                        qlabels = (labels[:-1] + "," if labels
+                                   else "{") + f'quantile="{quantile}"}}'
+                        lines.append(
+                            f"{prom}{qlabels} {_sample(value[key])}")
+                lines.append(f"{prom}_sum{labels} "
+                             f"{_sample(value.get('sum', 0.0))}")
+                lines.append(f"{prom}_count{labels} "
+                             f"{_sample(value.get('count', 0))}")
+            else:
+                lines.append(f"{prom}{labels} {_sample(value)}")
     return "\n".join(lines) + "\n"
+
+
+def prometheus_text(events: list[dict]) -> str | None:
+    """Prometheus text exposition of a trace's metrics.
+
+    Sweep traces carrying mergeable metric state (one ``metrics`` event
+    per cell) are fleet-merged first — counters sum, histograms merge by
+    bucket, gauges land per-worker — so the exposition covers the whole
+    pool.  Single-run traces export their final snapshot as before.
+    Returns ``None`` when the trace carries no metrics event.
+    """
+    from .fleet import fleet_snapshot
+
+    merged = fleet_snapshot(events)
+    if merged is None:
+        return None
+    snapshot, kinds = merged
+    return prometheus_exposition(snapshot, kinds)
 
 
 def _sample(value) -> str:

@@ -1,0 +1,297 @@
+"""Performance regression gate over BENCH_PERF.json roll-ups.
+
+The perf benchmarks (``benchmarks/bench_perf_*.py``) roll their results
+into ``BENCH_PERF.json``; until now nothing compared one roll-up against
+another, so the speedups the benches measure could regress silently.
+This module is that comparison:
+
+- :func:`extract_measurements` pulls the comparable numeric leaves out
+  of a bench record by naming convention — ``*_s``/``*_ms``/``*_mb``
+  are *lower-is-better* wall-clock/memory numbers, ``*speedup*`` /
+  ``*_per_s`` / ``*_hit_rate`` are *higher-is-better* throughput
+  numbers; everything else (configuration echoes like ``n_requests``,
+  counters, notes) is context, not a gated measurement.
+- :func:`compare` diffs a fresh roll-up against a committed baseline
+  (``benchmarks/baseline.json``) with per-benchmark tolerances and
+  absolute significance floors (CI machines are noisy; a 0.8 ms blip in
+  a 1 ms measurement is not a regression signal).
+- :func:`gate` is the CLI entry (``repro perfgate``): renders a verdict
+  table, appends the run to the ``BENCH_HISTORY.jsonl`` trajectory, and
+  exits nonzero when any measurement regressed — which is what makes it
+  a CI gate rather than a report.
+
+Benchmarks are compared **at matching scale** only: a ``small``-scale CI
+run is never diffed against the ``paper``-scale numbers a workstation
+committed; mismatched scales are reported as skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from .report import _format_table
+
+__all__ = ["append_history", "build_baseline", "compare",
+           "extract_measurements", "gate", "load_json"]
+
+#: Default relative tolerance before a worse measurement counts as a
+#: regression.  Generous on purpose: shared CI runners are noisy, and a
+#: gate that cries wolf gets deleted.  Tighten per-benchmark in the
+#: baseline's ``tolerances`` map where a bench is known to be stable.
+DEFAULT_TOLERANCE = 0.60
+
+#: Absolute significance floors by measurement suffix: when *both* the
+#: baseline and current values sit below the floor, the comparison is
+#: skipped as insignificant (sub-millisecond timings jitter far beyond
+#: any useful tolerance).
+DEFAULT_FLOORS = {"_s": 0.005, "_ms": 1.0, "_mb": 5.0}
+
+#: Keys never treated as measurements even though they are numeric.
+_CONTEXT_KEYS = {"cpu_count", "scale", "n_requests", "n_steps", "n_cells",
+                 "n_segments", "workers", "seeds", "window"}
+
+
+def _direction(key: str) -> str | None:
+    """``"higher"``/``"lower"`` for gated measurement keys, else None."""
+    leaf = key.rsplit(".", 1)[-1]
+    if leaf in _CONTEXT_KEYS:
+        return None
+    # Throughput patterns first: ``quotes_per_s`` ends in ``_s`` too.
+    if "speedup" in leaf or leaf.endswith(("_per_s", "_hit_rate")):
+        return "higher"
+    if leaf.endswith(("_s", "_ms", "_mb")):
+        return "lower"
+    return None
+
+
+def _floor(key: str, floors: dict) -> float:
+    leaf = key.rsplit(".", 1)[-1]
+    for suffix, floor in floors.items():
+        if leaf.endswith(suffix):
+            return float(floor)
+    return 0.0
+
+
+def extract_measurements(record: dict, prefix: str = "") -> dict[str, dict]:
+    """Gated measurements in a bench record, keyed by dotted path.
+
+    Walks nested dicts (``expr.build_s``) but not lists (per-stage
+    timings vary in shape run to run); each entry is ``{"value",
+    "direction"}``.  Non-numeric and context values are ignored.
+    """
+    out: dict[str, dict] = {}
+    for key, value in record.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(extract_measurements(value, prefix=f"{path}."))
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        direction = _direction(path)
+        if direction is not None:
+            out[path] = {"value": float(value), "direction": direction}
+    return out
+
+
+def load_json(path: str | Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare(current: dict, baseline: dict) -> dict:
+    """Diff a fresh BENCH_PERF roll-up against a committed baseline.
+
+    ``current`` is the roll-up (``{"benchmarks": {name: record}}``);
+    ``baseline`` is the gate file (see :func:`build_baseline`):
+    ``{"default_tolerance", "floors", "tolerances": {bench: tol},
+    "benchmarks": {bench: {scale: {"metrics": {...}}}}}``.
+
+    Returns ``{"ok", "checked", "regressions", "rows"}`` where each row
+    is ``{"bench", "scale", "metric", "base", "current", "delta_pct",
+    "status"}`` and status is one of ``ok`` / ``regression`` /
+    ``improved`` / ``insignificant`` / ``no-baseline`` /
+    ``scale-mismatch``.  Only ``regression`` rows fail the gate.
+    """
+    default_tol = float(baseline.get("default_tolerance",
+                                     DEFAULT_TOLERANCE))
+    floors = dict(DEFAULT_FLOORS, **baseline.get("floors", {}))
+    tolerances = baseline.get("tolerances", {})
+    base_benches = baseline.get("benchmarks", {})
+    rows: list[dict] = []
+    checked = regressions = 0
+    for bench in sorted(current.get("benchmarks", {})):
+        record = current["benchmarks"][bench]
+        scale = str(record.get("scale", "default"))
+        base_entry = base_benches.get(bench, {}).get(scale)
+        if base_entry is None:
+            status = ("scale-mismatch" if bench in base_benches
+                      else "no-baseline")
+            rows.append({"bench": bench, "scale": scale, "metric": "-",
+                         "base": None, "current": None, "delta_pct": None,
+                         "status": status})
+            continue
+        tol = float(tolerances.get(bench, default_tol))
+        base_metrics = base_entry.get("metrics", {})
+        for metric, spec in sorted(extract_measurements(record).items()):
+            base = base_metrics.get(metric)
+            if base is None:
+                rows.append({"bench": bench, "scale": scale,
+                             "metric": metric, "base": None,
+                             "current": spec["value"], "delta_pct": None,
+                             "status": "no-baseline"})
+                continue
+            base = float(base)
+            value = spec["value"]
+            floor = _floor(metric, floors)
+            row = {"bench": bench, "scale": scale, "metric": metric,
+                   "base": base, "current": value,
+                   "delta_pct": (None if base == 0
+                                 else 100.0 * (value - base) / base)}
+            if (spec["direction"] == "lower" and base < floor
+                    and value < floor):
+                row["status"] = "insignificant"
+                rows.append(row)
+                continue
+            checked += 1
+            if spec["direction"] == "lower":
+                if value > base * (1.0 + tol):
+                    row["status"] = "regression"
+                elif value < base * (1.0 - tol):
+                    row["status"] = "improved"
+                else:
+                    row["status"] = "ok"
+            else:
+                # Tolerance is a symmetric ratio: a 2x wall-clock
+                # slowdown and a 2x throughput drop trip identically
+                # (value < base/(1+tol), not base*(1-tol) — the latter
+                # would let a halved throughput pass a 0.6 tolerance).
+                if value * (1.0 + tol) < base:
+                    row["status"] = "regression"
+                elif value > base * (1.0 + tol):
+                    row["status"] = "improved"
+                else:
+                    row["status"] = "ok"
+            if row["status"] == "regression":
+                regressions += 1
+            rows.append(row)
+    return {"ok": regressions == 0, "checked": checked,
+            "regressions": regressions, "rows": rows}
+
+
+def build_baseline(payload: dict, existing: dict | None = None) -> dict:
+    """A baseline file from a BENCH_PERF roll-up, merged per scale.
+
+    Each bench's gated measurements are stored under its scale, so one
+    baseline can hold a bench's ``small`` CI numbers *and* its
+    ``medium``/``paper`` workstation numbers; merging with ``existing``
+    replaces only the ``(bench, scale)`` pairs the new roll-up covers
+    and keeps tolerances/floors already configured.
+    """
+    out = {"generated": payload.get("timestamp"),
+           "default_tolerance": DEFAULT_TOLERANCE,
+           "floors": dict(DEFAULT_FLOORS),
+           "tolerances": {},
+           "benchmarks": {}}
+    if existing:
+        out["default_tolerance"] = existing.get("default_tolerance",
+                                                out["default_tolerance"])
+        out["floors"] = dict(out["floors"], **existing.get("floors", {}))
+        out["tolerances"] = dict(existing.get("tolerances", {}))
+        out["benchmarks"] = {name: dict(scales) for name, scales
+                             in existing.get("benchmarks", {}).items()}
+    for bench, record in payload.get("benchmarks", {}).items():
+        scale = str(record.get("scale", "default"))
+        metrics = {metric: spec["value"] for metric, spec
+                   in extract_measurements(record).items()}
+        if metrics:
+            out["benchmarks"].setdefault(bench, {})[scale] = {
+                "metrics": metrics}
+    return out
+
+
+def append_history(path: str | Path, payload: dict, outcome: dict) -> None:
+    """Append one JSONL record of this gate run to the trajectory file.
+
+    The history is the queryable perf record over time: timestamp,
+    platform, verdict, and every gated measurement's value — enough to
+    plot any metric's trajectory straight off the artifact.
+    """
+    metrics = {}
+    for bench, record in payload.get("benchmarks", {}).items():
+        scale = str(record.get("scale", "default"))
+        for metric, spec in extract_measurements(record).items():
+            metrics[f"{bench}[{scale}].{metric}"] = spec["value"]
+    entry = {"ts": time.time(),
+             "timestamp": payload.get("timestamp"),
+             "python": payload.get("python"),
+             "platform": payload.get("platform"),
+             "ok": outcome["ok"],
+             "checked": outcome["checked"],
+             "regressions": outcome["regressions"],
+             "metrics": metrics}
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry) + "\n")
+
+
+def verdict_table(outcome: dict) -> str:
+    """The comparison rows as a fixed-width table for the CLI."""
+    def fmt(value):
+        return "-" if value is None else f"{value:.6g}"
+
+    rows = [[row["bench"], row["scale"], row["metric"], fmt(row["base"]),
+             fmt(row["current"]),
+             "-" if row["delta_pct"] is None else f"{row['delta_pct']:+.1f}%",
+             row["status"]]
+            for row in outcome["rows"]]
+    return _format_table(
+        ["bench", "scale", "metric", "baseline", "current", "delta",
+         "status"], rows)
+
+
+def gate(current_path: str | Path, baseline_path: str | Path,
+         history_path: str | Path | None = None,
+         update_baseline: bool = False, echo=print) -> int:
+    """Run the gate end to end; returns the process exit code.
+
+    0 — no regressions (the gate passes); 1 — at least one measurement
+    regressed beyond tolerance; 2 — usage error (missing/invalid input
+    files).  ``--update`` rewrites the baseline from the current roll-up
+    instead of judging it (the deliberate-ratchet path after an accepted
+    perf change).
+    """
+    try:
+        current = load_json(current_path)
+    except (OSError, json.JSONDecodeError) as error:
+        echo(f"perfgate: cannot read current roll-up "
+             f"{current_path}: {error}")
+        return 2
+    if update_baseline:
+        existing = None
+        try:
+            existing = load_json(baseline_path)
+        except (OSError, json.JSONDecodeError):
+            pass
+        baseline = build_baseline(current, existing)
+        Path(baseline_path).write_text(json.dumps(baseline, indent=2,
+                                                  sort_keys=True) + "\n",
+                                       encoding="utf-8")
+        echo(f"perfgate: baseline updated from {current_path} -> "
+             f"{baseline_path}")
+        return 0
+    try:
+        baseline = load_json(baseline_path)
+    except (OSError, json.JSONDecodeError) as error:
+        echo(f"perfgate: cannot read baseline {baseline_path}: {error} "
+             f"(generate one with --update)")
+        return 2
+    outcome = compare(current, baseline)
+    echo(verdict_table(outcome))
+    echo(f"\nperfgate: {outcome['checked']} measurement(s) checked, "
+         f"{outcome['regressions']} regression(s)"
+         + ("" if outcome["ok"] else " — FAIL"))
+    if history_path is not None:
+        append_history(history_path, current, outcome)
+        echo(f"perfgate: appended run to {history_path}")
+    return 0 if outcome["ok"] else 1

@@ -79,20 +79,23 @@ def runtime_table(events: list[dict]) -> str:
 
 
 def metrics_table(events: list[dict]) -> str | None:
-    """Counter/gauge table from the trace's final metrics snapshot.
+    """Counter/gauge table from the trace's metrics snapshot(s).
 
     ``run --telemetry`` ends a trace with a ``metrics`` event holding the
     run's registry snapshot (admissions, fault injections, resilience
-    retries/fallbacks, stale-price windows, ...).  Scalar metrics render
-    one row each; histogram summaries are collapsed to their count.
-    Returns ``None`` when the trace carries no metrics event.
+    retries/fallbacks, stale-price windows, ...).  A merged sweep trace
+    carries one metrics event per cell; those are fleet-merged first —
+    counters sum, histograms merge by bucket, gauges stay per-worker —
+    so the table covers the whole pool.  Scalar metrics render one row
+    each; histogram summaries are collapsed to their count.  Returns
+    ``None`` when the trace carries no metrics event.
     """
-    snapshot = None
-    for event in events:
-        if event.get("type") == "metrics":
-            snapshot = event.get("metrics", {})
-    if not snapshot:
+    from .fleet import fleet_snapshot
+
+    merged = fleet_snapshot(events)
+    if merged is None or not merged[0]:
         return None
+    snapshot = merged[0]
     rows = []
     for name in sorted(snapshot):
         value = snapshot[name]

@@ -180,3 +180,59 @@ def test_smoke_preset_runs_end_to_end(tmp_path):
     assert result.ok and result.n_cells == 2
     assert (tmp_path / "report.md").exists()
     assert (tmp_path / "main.jsonl").exists()  # preset asks for telemetry
+
+
+def test_campaign_reports_fleet_metrics_and_slo(tmp_path):
+    spec = CampaignSpec.from_dict(smoke_dict())
+    result = run_campaign(spec, tmp_path)
+    # The fleet view merges every cell's registry dump: the campaign's
+    # own counters are there, and the welfare-bearing Pretium counters
+    # arrived from the worker side.
+    assert result.fleet_metrics["sweep.cells"] == 2
+    assert result.fleet_metrics.get("pretium.admitted", 0) > 0
+    # SLO status is campaign-flavoured (engine totals, not service's).
+    assert result.slo["ok"] is True
+    assert result.slo["objectives"]["error_budget"]["ok"] is True
+
+    markdown = result.report_md.read_text()
+    assert "## SLO" in markdown and "## Fleet metrics" in markdown
+    assert "error_budget" in markdown
+    html = result.report_html.read_text()
+    assert "Fleet metrics" in html
+
+    record = json.loads(result.summary_path.read_text())
+    assert record["fleet_metrics"]["sweep.cells"] == 2
+    assert record["slo"]["ok"] is True
+
+
+def test_campaign_serves_live_metrics_while_running(tmp_path, monkeypatch):
+    """metrics_port=0 exposes fleet-merged /metrics for the campaign's
+    duration; progress callbacks fire while it is up, so scrape there."""
+    import urllib.request
+
+    from repro.telemetry import live as live_module
+
+    ports, scraped = [], []
+    real_server = live_module.LiveMetricsServer
+
+    class Spy(real_server):
+        def start(self):
+            out = real_server.start(self)
+            ports.append(self.port)
+            return out
+
+    monkeypatch.setattr(live_module, "LiveMetricsServer", Spy)
+
+    def scrape_on_progress(done, total, cell):
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{ports[0]}/metrics",
+                timeout=5) as response:
+            scraped.append(response.read().decode())
+
+    spec = CampaignSpec.from_dict(smoke_dict())
+    result = run_campaign(spec, tmp_path, metrics_port=0,
+                          progress=scrape_on_progress)
+    assert result.ok
+    assert scraped and "# TYPE" in scraped[0]
+    # By the last scrape the parent registry had aggregated cell one.
+    assert "sweep_cells" in scraped[-1]

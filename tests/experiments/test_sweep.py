@@ -151,6 +151,55 @@ def test_four_worker_sweep_bit_identical_under_faults():
     assert_cells_identical(serial.cells, parallel.cells)
 
 
+def test_fleet_merged_metrics_match_serial_run_bit_for_bit():
+    """Fleet aggregation must be lossless: the counters a 4-worker
+    sweep merges back equal the serial run's, value for value.  Only
+    scheduling-dependent metrics are excluded — the per-worker scenario
+    cache (a shared in-process cache hits where isolated worker caches
+    miss) and per-worker gauges (RSS) — everything the engines count is
+    deterministic and must survive the shard/merge round trip exactly."""
+    from repro.telemetry import use_registry
+
+    grid = SweepGrid(schemes=["Pretium", "NoPrices"], scenarios=["tiny"],
+                     seeds=[0, 1])
+
+    def fleet_counters(options):
+        with use_registry():
+            result = run_sweep(grid, options=options)
+        assert result.ok
+        fleet = result.fleet_metrics()
+        kinds = fleet.kinds()
+        return {name: value for name, value in fleet.snapshot().items()
+                if kinds[name] == "counter"
+                and not name.startswith("sweep.scenario_cache")}
+
+    serial = fleet_counters(RunOptions(workers=1))
+    parallel = fleet_counters(RunOptions(workers=4))
+    assert serial == parallel  # bit-for-bit, not approximately
+    assert serial["sweep.cells"] == 4
+    assert serial.get("pretium.admitted", 0) > 0
+
+
+def test_cell_metrics_ride_along_and_parent_registry_aggregates():
+    """Each CellResult carries its registry dump, and run_sweep merges
+    them into the caller's registry as cells complete."""
+    from repro.telemetry import get_registry, use_registry
+
+    grid = SweepGrid(schemes=["Pretium"], scenarios=["tiny"],
+                     seeds=[0, 1])
+    with use_registry():
+        result = run_sweep(grid, options=RunOptions(workers=2))
+        live = get_registry()
+        assert live.counter("sweep.cells").value == 2
+    for cell in result.cells:
+        assert cell.metrics["counters"]["sweep.cells"] == 1
+        assert "pretium.admitted" in cell.metrics["counters"]
+    merged = result.fleet_metrics().snapshot()
+    assert merged["sweep.cells"] == 2
+    assert merged["pretium.admitted"] == \
+        live.counter("pretium.admitted").value
+
+
 def test_worker_count_is_capped_by_grid_size():
     grid = SweepGrid(schemes=["NoPrices"], scenarios=["tiny"])
     result = run_sweep(grid, options=RunOptions(workers=8))

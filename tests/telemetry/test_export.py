@@ -96,11 +96,25 @@ def test_prometheus_text_lines_are_valid():
     text = prometheus_text([metrics_event()])
     assert text.endswith("\n")
     for line in text.strip().splitlines():
-        if line.startswith("#"):
+        if line.startswith("# TYPE"):
             assert re.match(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
                             r"(counter|gauge|summary)$", line), line
+        elif line.startswith("#"):
+            assert re.match(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$",
+                            line), line
         else:
             assert PROM_LINE.match(line), line
+
+
+def test_prometheus_every_family_has_help_and_type():
+    text = prometheus_text([metrics_event()])
+    families = {line.split()[0] for line in text.splitlines()
+                if line and not line.startswith("#")}
+    bases = {re.sub(r"(_sum|_count)$", "", name.split("{")[0])
+             for name in families}
+    for base in bases:
+        assert f"# HELP {base} " in text, base
+        assert f"# TYPE {base} " in text, base
 
 
 def test_prometheus_text_typed_output():

@@ -1,0 +1,195 @@
+"""Tests for the perf-regression gate over BENCH_PERF.json roll-ups."""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry.perfgate import (build_baseline, compare,
+                                      extract_measurements, gate)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def payload(**benches):
+    return {"timestamp": "2026-01-01T00:00:00+00:00", "python": "3.12",
+            "platform": "test", "benchmarks": benches}
+
+
+BENCH = {"scale": "small", "n_requests": 100,
+         "wall_s": 2.0, "latency_p99_ms": 40.0,
+         "quotes_per_s": 5000.0, "warm_speedup": 2.0,
+         "cache_hit_rate": 0.9, "max_rss_mb": 300.0,
+         "warm": {"wall_s": 1.0},
+         "stages": [{"wall_s": 9.9}]}  # lists are never gated
+
+
+# -- measurement extraction ---------------------------------------------------
+
+def test_extract_measurements_directions_and_context():
+    out = extract_measurements(BENCH)
+    assert out["wall_s"]["direction"] == "lower"
+    assert out["latency_p99_ms"]["direction"] == "lower"
+    assert out["max_rss_mb"]["direction"] == "lower"
+    # Throughput suffixes win even though quotes_per_s ends in _s.
+    assert out["quotes_per_s"]["direction"] == "higher"
+    assert out["warm_speedup"]["direction"] == "higher"
+    assert out["cache_hit_rate"]["direction"] == "higher"
+    assert out["warm.wall_s"]["direction"] == "lower"  # nested dicts walk
+    assert "n_requests" not in out        # context, not a measurement
+    assert "scale" not in out
+    assert not any(key.startswith("stages") for key in out)
+
+
+# -- compare ------------------------------------------------------------------
+
+def _gatefile(current):
+    return build_baseline(current)
+
+
+def test_identical_run_is_all_ok():
+    current = payload(bench_a=BENCH)
+    outcome = compare(current, _gatefile(current))
+    assert outcome["ok"] and outcome["regressions"] == 0
+    assert outcome["checked"] > 0
+    assert {row["status"] for row in outcome["rows"]} == {"ok"}
+
+
+def test_two_x_slowdown_trips_the_gate():
+    """The self-test the CI job encodes: double every wall-clock number
+    in a copy of the current metrics and the gate must fail."""
+    current = payload(bench_a=BENCH)
+    baseline = _gatefile(current)
+    slowed = copy.deepcopy(current)
+    record = slowed["benchmarks"]["bench_a"]
+    record["wall_s"] *= 2.0
+    record["latency_p99_ms"] *= 2.0
+    record["quotes_per_s"] /= 2.0  # throughput halves too
+    outcome = compare(slowed, baseline)
+    assert not outcome["ok"]
+    tripped = {row["metric"] for row in outcome["rows"]
+               if row["status"] == "regression"}
+    assert {"wall_s", "latency_p99_ms", "quotes_per_s"} <= tripped
+
+
+def test_improvement_and_tolerance_band():
+    current = payload(bench_a=BENCH)
+    baseline = _gatefile(current)
+    faster = copy.deepcopy(current)
+    faster["benchmarks"]["bench_a"]["wall_s"] = 0.5     # -75%: improved
+    nudged = copy.deepcopy(current)
+    nudged["benchmarks"]["bench_a"]["wall_s"] = 2.4     # +20%: within tol
+    by_metric = {row["metric"]: row["status"]
+                 for row in compare(faster, baseline)["rows"]}
+    assert by_metric["wall_s"] == "improved"
+    by_metric = {row["metric"]: row["status"]
+                 for row in compare(nudged, baseline)["rows"]}
+    assert by_metric["wall_s"] == "ok"
+
+
+def test_sub_floor_timings_are_insignificant():
+    tiny = dict(BENCH, wall_s=0.001)
+    del tiny["warm"]
+    current = payload(bench_a=tiny)
+    baseline = _gatefile(current)
+    doubled = copy.deepcopy(current)
+    doubled["benchmarks"]["bench_a"]["wall_s"] = 0.002  # 2x but < 5 ms
+    rows = {row["metric"]: row["status"]
+            for row in compare(doubled, baseline)["rows"]}
+    assert rows["wall_s"] == "insignificant"
+
+
+def test_scale_mismatch_and_missing_bench_are_skipped_not_failed():
+    baseline = _gatefile(payload(bench_a=BENCH))
+    other_scale = copy.deepcopy(BENCH)
+    other_scale["scale"] = "paper"
+    outcome = compare(payload(bench_a=other_scale, bench_b=BENCH),
+                      baseline)
+    statuses = {(row["bench"], row["status"])
+                for row in outcome["rows"] if row["metric"] == "-"}
+    assert ("bench_a", "scale-mismatch") in statuses
+    assert ("bench_b", "no-baseline") in statuses
+    assert outcome["ok"]  # skips never fail the gate
+
+
+def test_per_bench_tolerance_overrides_default():
+    current = payload(bench_a=BENCH)
+    baseline = _gatefile(current)
+    baseline["tolerances"]["bench_a"] = 0.05
+    nudged = copy.deepcopy(current)
+    nudged["benchmarks"]["bench_a"]["wall_s"] = 2.4  # +20% > 5% tol
+    rows = {row["metric"]: row["status"]
+            for row in compare(nudged, baseline)["rows"]}
+    assert rows["wall_s"] == "regression"
+
+
+# -- baseline building --------------------------------------------------------
+
+def test_build_baseline_merges_per_scale_and_keeps_config():
+    small = _gatefile(payload(bench_a=BENCH))
+    small["tolerances"]["bench_a"] = 0.25
+    medium_bench = dict(BENCH, scale="medium", wall_s=20.0)
+    merged = build_baseline(payload(bench_a=medium_bench), existing=small)
+    assert set(merged["benchmarks"]["bench_a"]) == {"small", "medium"}
+    assert merged["benchmarks"]["bench_a"]["small"]["metrics"]["wall_s"] \
+        == 2.0
+    assert merged["benchmarks"]["bench_a"]["medium"]["metrics"]["wall_s"] \
+        == 20.0
+    assert merged["tolerances"]["bench_a"] == 0.25
+
+
+# -- the gate end to end ------------------------------------------------------
+
+def test_gate_roundtrip_update_pass_fail_history(tmp_path):
+    current_path = tmp_path / "BENCH_PERF.json"
+    baseline_path = tmp_path / "baseline.json"
+    history_path = tmp_path / "BENCH_HISTORY.jsonl"
+    current = payload(bench_a=BENCH)
+    current_path.write_text(json.dumps(current))
+    quiet = lambda *a: None  # noqa: E731
+
+    # --update creates the baseline; the same run then passes.
+    assert gate(current_path, baseline_path, update_baseline=True,
+                echo=quiet) == 0
+    assert gate(current_path, baseline_path, history_path=history_path,
+                echo=quiet) == 0
+
+    # Inject a 2x slowdown: the gate exits 1 and records the failure.
+    slowed = copy.deepcopy(current)
+    slowed["benchmarks"]["bench_a"]["wall_s"] *= 2.0
+    current_path.write_text(json.dumps(slowed))
+    assert gate(current_path, baseline_path, history_path=history_path,
+                echo=quiet) == 1
+
+    entries = [json.loads(line)
+               for line in history_path.read_text().splitlines()]
+    assert [entry["ok"] for entry in entries] == [True, False]
+    assert entries[0]["metrics"]["bench_a[small].wall_s"] == 2.0
+    assert entries[1]["metrics"]["bench_a[small].wall_s"] == 4.0
+
+
+def test_gate_usage_errors_exit_2(tmp_path):
+    quiet = lambda *a: None  # noqa: E731
+    assert gate(tmp_path / "missing.json", tmp_path / "b.json",
+                echo=quiet) == 2
+    current = tmp_path / "c.json"
+    current.write_text(json.dumps(payload()))
+    assert gate(current, tmp_path / "missing-baseline.json",
+                echo=quiet) == 2
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    assert gate(broken, tmp_path / "b.json", echo=quiet) == 2
+
+
+def test_committed_rollup_passes_committed_baseline():
+    """The repo's own BENCH_PERF.json must pass the checked-in baseline
+    — otherwise the CI gate is red at head."""
+    current_path = REPO_ROOT / "BENCH_PERF.json"
+    baseline_path = REPO_ROOT / "benchmarks" / "baseline.json"
+    assert current_path.exists() and baseline_path.exists()
+    outcome = compare(json.loads(current_path.read_text()),
+                      json.loads(baseline_path.read_text()))
+    assert outcome["ok"], [row for row in outcome["rows"]
+                           if row["status"] == "regression"]
+    assert outcome["checked"] > 0

@@ -1,0 +1,86 @@
+"""Tests for span-tree self-time attribution and flamegraph export."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (collapsed_stacks, flame_report,
+                             self_time_table, span_nodes)
+
+
+def _span(span_id, name, duration, parent_id=0, **tags):
+    return dict({"type": "span", "span_id": span_id, "name": name,
+                 "duration": duration, "parent_id": parent_id}, **tags)
+
+
+#: run(0.10) -> ra(0.06) -> lp.solve(0.04), plus run -> sam(0.01).
+TREE = [_span(1, "run", 0.10),
+        _span(2, "ra", 0.06, parent_id=1),
+        _span(3, "lp.solve", 0.04, parent_id=2),
+        _span(4, "sam", 0.01, parent_id=1)]
+
+
+def test_span_nodes_charges_self_time_once():
+    nodes = {node["stack"]: node for node in span_nodes(TREE)}
+    assert nodes["run"]["self"] == pytest.approx(0.03)        # 0.10-0.07
+    assert nodes["run;ra"]["self"] == pytest.approx(0.02)     # 0.06-0.04
+    assert nodes["run;ra;lp.solve"]["self"] == pytest.approx(0.04)
+    assert nodes["run;sam"]["self"] == pytest.approx(0.01)
+    # Self times partition the root's wall clock exactly once.
+    assert sum(node["self"] for node in nodes.values()) \
+        == pytest.approx(0.10)
+
+
+def test_self_time_clamped_when_children_overrun():
+    events = [_span(1, "parent", 0.01),
+              _span(2, "child", 0.02, parent_id=1)]  # clock jitter
+    nodes = {node["name"]: node for node in span_nodes(events)}
+    assert nodes["parent"]["self"] == 0.0
+
+
+def test_orphan_parent_roots_its_own_stack():
+    events = [_span(7, "leaf", 0.01, parent_id=999)]
+    (node,) = span_nodes(events)
+    assert node["stack"] == "leaf"
+
+
+def test_shards_never_link_across_cells():
+    """Merged sweep traces re-use span ids; trees rebuild per shard."""
+    events = [_span(1, "run", 0.10, cell=0, worker=0),
+              _span(2, "ra", 0.04, parent_id=1, cell=0, worker=0),
+              _span(1, "run", 0.20, cell=1, worker=1),
+              _span(2, "ra", 0.08, parent_id=1, cell=1, worker=1)]
+    stacks = collapsed_stacks(events).splitlines()
+    # Each shard's root is charged its own self time (0.06 and 0.12 s);
+    # were the shards linked, the second "run" would nest under the
+    # first and the stacks would not stay two levels deep.
+    assert stacks == ["run 180000", "run;ra 120000"]
+
+
+def test_collapsed_format_is_integer_microseconds():
+    for line in collapsed_stacks(TREE).splitlines():
+        stack, weight = line.rsplit(" ", 1)
+        assert int(weight) > 0
+        assert ";" in stack or stack == "run"
+
+
+def test_self_time_table_ranks_by_self():
+    table = self_time_table(TREE)
+    lines = table.splitlines()
+    assert lines[0].split()[:4] == ["span", "count", "total_s", "self_s"]
+    names = [line.split()[0] for line in lines[2:]]
+    assert names[0] == "lp.solve"  # largest self time first
+
+
+def test_flame_report_reads_trace_files(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    trace.write_text("\n".join(json.dumps(e) for e in TREE) + "\n")
+    assert "run;ra;lp.solve 40000" in flame_report(str(trace))
+    assert "lp.solve" in flame_report(str(trace), fmt="table")
+
+
+def test_flame_report_rejects_span_free_and_unknown_format():
+    with pytest.raises(ValueError, match="no span events"):
+        flame_report([{"type": "run_started"}])
+    with pytest.raises(ValueError, match="unknown flame format"):
+        flame_report(TREE, fmt="svg")

@@ -113,6 +113,111 @@ def test_registry_kinds_map():
                                 "ra": "histogram"}
 
 
+def test_histogram_state_merge_is_bucket_exact():
+    """Merging shard states equals observing every sample in one
+    histogram — the property fleet aggregation rests on."""
+    rng = np.random.default_rng(1)
+    samples = rng.lognormal(mean=-4.0, sigma=1.5, size=2000)
+    whole = Histogram(growth=1.05)
+    parts = [Histogram(growth=1.05) for _ in range(3)]
+    for i, value in enumerate(samples):
+        whole.observe(value)
+        parts[i % 3].observe(value)
+    merged = Histogram(growth=1.05)
+    for part in parts:
+        # Through JSON: worker shards cross a process boundary.
+        merged.merge_state(json.loads(json.dumps(part.state())))
+    assert merged.count == whole.count
+    assert merged.total == pytest.approx(whole.total)
+    assert merged.min == whole.min and merged.max == whole.max
+    assert merged.state()["buckets"] == whole.state()["buckets"]
+    for q in (0.5, 0.95, 0.99):
+        assert merged.quantile(q) == whole.quantile(q)
+
+
+def test_histogram_merge_rejects_mismatched_buckets():
+    a, b = Histogram(growth=1.05), Histogram(growth=1.10)
+    b.observe(1.0)
+    with pytest.raises(ValueError):
+        a.merge_state(b.state())
+
+
+def test_histogram_merge_empty_state_is_noop():
+    hist = Histogram()
+    hist.observe(2.0)
+    hist.merge_state(Histogram().state())
+    assert hist.count == 1 and hist.min == 2.0
+
+
+def test_registry_dump_merge_counters_sum_gauges_scope():
+    worker_a, worker_b = MetricsRegistry(), MetricsRegistry()
+    worker_a.counter("admitted").inc(3)
+    worker_b.counter("admitted").inc(4)
+    worker_a.gauge("rss_mb").set(100.0)
+    worker_b.gauge("rss_mb").set(200.0)
+    worker_a.histogram("lat_ms").observe(1.0)
+    worker_b.histogram("lat_ms").observe(4.0)
+    fleet = MetricsRegistry()
+    fleet.merge_dump(json.loads(json.dumps(worker_a.dump())), worker=0)
+    fleet.merge_dump(json.loads(json.dumps(worker_b.dump())), worker=1)
+    snapshot = fleet.snapshot()
+    # Counters sum across the fleet; gauges stay per-worker (a mean of
+    # point-in-time values would mean nothing); histograms merge.
+    assert snapshot["admitted"] == 7
+    assert snapshot["rss_mb[worker=0]"] == 100.0
+    assert snapshot["rss_mb[worker=1]"] == 200.0
+    assert "rss_mb" not in snapshot
+    assert snapshot["lat_ms"]["count"] == 2
+    assert snapshot["lat_ms"]["max"] == 4.0
+
+
+def test_registry_merge_dump_without_worker_keeps_gauge_name():
+    fleet = MetricsRegistry()
+    source = MetricsRegistry()
+    source.gauge("load").set(0.5)
+    fleet.merge_dump(source.dump())
+    assert fleet.snapshot()["load"] == 0.5
+
+
+def test_metrics_are_thread_safe_under_contention():
+    """No lost updates: the exact-count contract the live scrape
+    endpoint and the fleet merge both rely on."""
+    import threading
+
+    registry = MetricsRegistry()
+    n_threads, n_ops = 8, 5_000
+
+    def hammer():
+        counter = registry.counter("hits")
+        hist = registry.histogram("lat_ms")
+        for i in range(n_ops):
+            counter.inc()
+            hist.observe(0.5 + (i % 17))
+
+    threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert registry.counter("hits").value == n_threads * n_ops
+    assert registry.histogram("lat_ms").count == n_threads * n_ops
+
+
+def test_run_context_rolls_metrics_up_to_outer_registry():
+    """A scoped run's metrics land in the enclosing registry on exit,
+    so sweep cells and campaigns see nested runs' counters."""
+    from repro.options import RunOptions, run_context
+    from repro.telemetry import use_registry
+
+    with use_registry() as outer:
+        with run_context(RunOptions()):
+            get_registry().counter("inner.admitted").inc(5)
+            get_registry().histogram("inner.ms").observe(2.0)
+        assert get_registry() is outer
+        assert outer.counter("inner.admitted").value == 5
+        assert outer.histogram("inner.ms").count == 1
+
+
 def test_use_registry_restores_on_raise():
     from repro.telemetry import use_registry
 

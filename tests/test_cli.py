@@ -208,7 +208,7 @@ def test_telemetry_export_prom(traced_run, capsys):
     assert "# TYPE pretium_admitted counter" in out
     import re
     line_ok = re.compile(
-        r"^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)"
+        r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?"
         r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+=\"[^\"]*\"\})? "
         r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN))$")
     for line in out.strip().splitlines():
