@@ -1,0 +1,88 @@
+"""Perf benchmark: multi-class quoting/scheduling + flowlet routing cost.
+
+Runs Pretium on the same world three ways:
+
+- **single** — one neutral class (the pre-class pipeline's code path);
+- **multi** — the three-tier ``qos3`` mix (interactive / elastic /
+  background): per-class price scaling in the menu, per-class value
+  weights and preemption slack in the welfare LP;
+- **multi+flowlet** — the same mix under the flowlet routing policy
+  (hash-pinned single-candidate admissible sets).
+
+The interesting number is ``class_overhead_ratio`` (multi / single):
+the traffic-class layer must stay a constant-factor bookkeeping cost,
+not change the asymptotics of quoting or the LP.  ``quotes_per_s`` is
+the multi-class end-to-end admission throughput (requests over wall
+clock).
+
+Timings are recorded, never gated here (CI's perf gate judges the
+rolled-up BENCH_PERF.json against benchmarks/baseline.json).  Scale
+with ``BENCH_PERF_SCALE=small|medium`` (CI uses ``small``).
+"""
+
+import os
+import time
+
+from repro.api import run
+from repro.options import RunOptions
+from repro.registry import SCENARIOS
+
+SCALES = {
+    "small": dict(scenario="multiclass_medium", seed=0),
+    "medium": dict(scenario="standard", seed=0),
+}
+
+
+def run_variant(name, seed, classes, routing=None):
+    scenario = SCENARIOS.get(name)(seed=seed, classes=classes)
+    begin = time.perf_counter()
+    report = run("Pretium", scenario,
+                 options=RunOptions(solver_backend="scipy",
+                                    routing=routing))
+    wall = time.perf_counter() - begin
+    return report, wall, scenario
+
+
+def bench_perf_multiclass(benchmark, record):
+    scale_name = os.environ.get("BENCH_PERF_SCALE", "medium")
+    scale = SCALES[scale_name]
+    name, seed = scale["scenario"], scale["seed"]
+
+    multi, multi_wall, scenario = benchmark.pedantic(
+        run_variant, args=(name, seed, "qos3"), rounds=1, iterations=1)
+    single, single_wall, _ = run_variant(name, seed, "default")
+    flowlet, flowlet_wall, _ = run_variant(name, seed, "qos3",
+                                           routing="flowlet")
+
+    # The class machinery must actually be on in the multi runs ...
+    assert set(multi.summary["per_class"]) == \
+        {"interactive", "elastic", "background"}
+    assert set(flowlet.summary["per_class"]) == \
+        {"interactive", "elastic", "background"}
+    # ... and off-but-accounted in the single-class run.
+    assert set(single.summary["per_class"]) == {"default"}
+    for report in (single, multi, flowlet):
+        assert report.summary["delivered"] > 0
+
+    n_requests = scenario.workload.n_requests
+    result = {
+        "scale": scale_name,
+        "scenario": name,
+        "n_requests": n_requests,
+        "n_classes": len(scenario.workload.classes),
+        "single_class_s": single_wall,
+        "multiclass_s": multi_wall,
+        "multiclass_flowlet_s": flowlet_wall,
+        "class_overhead_ratio": multi_wall / single_wall,
+        "quotes_per_s": n_requests / multi_wall,
+        "per_class_completion": {
+            cls: stats["completion"]
+            for cls, stats in multi.summary["per_class"].items()},
+    }
+    record(result)
+    print(f"\nmulticlass ({scale_name}, {n_requests} requests, "
+          f"{result['n_classes']} classes): single {single_wall:.2f}s, "
+          f"multi {multi_wall:.2f}s "
+          f"({result['class_overhead_ratio']:.2f}x), "
+          f"multi+flowlet {flowlet_wall:.2f}s, "
+          f"{result['quotes_per_s']:.0f} quotes/s")

@@ -45,7 +45,7 @@ import time
 import numpy as np
 
 from repro.api import run
-from repro.experiments.scenarios import SCENARIO_BUILDERS
+from repro.registry import SCENARIOS
 from repro.options import RunOptions
 from repro.telemetry import get_registry, use_registry
 
@@ -65,7 +65,7 @@ def gapped_scenario(name, seed):
     quarter of the horizon (deadlines stretched so windows stay legal):
     the remaining three quarters of the steps offer no arrivals, which
     is the regime the quiet-step fast path targets."""
-    scenario = SCENARIO_BUILDERS[name](seed=seed)
+    scenario = SCENARIOS.get(name)(seed=seed)
     workload = scenario.workload
     quarter = max(1, workload.n_steps // 4)
     requests = []

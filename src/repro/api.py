@@ -38,19 +38,22 @@ from typing import Mapping
 from .experiments.campaign import (CampaignResult, CampaignSpec,
                                    campaign_spec, run_campaign)
 from .experiments.runner import SchemeSpec, run_scheme, scheme_spec
-from .experiments.scenarios import (SCENARIO_BUILDERS, Scenario,
-                                    ScenarioSpec)
+from .experiments.scenarios import Scenario, ScenarioSpec
 from .experiments.sweep import (CellResult, SweepCell, SweepGrid,
                                 SweepResult, run_sweep)
 from .options import RunOptions, ServiceOptions, run_context
+from .registry import (SCENARIOS, SCHEMES, Registry, RegistryError,
+                       UnknownScenarioError, UnknownSchemeError)
 from .sim import RunResult, summarize
 from .telemetry import Finding, audit_events, read_trace, unwaived
 
 __all__ = [
     "AuditReport", "CampaignResult", "CampaignSpec", "CellResult",
-    "RunOptions", "RunReport", "Scenario", "ScenarioSpec", "SchemeSpec",
+    "Registry", "RegistryError", "RunOptions", "RunReport", "SCENARIOS",
+    "SCHEMES", "Scenario", "ScenarioSpec", "SchemeSpec",
     "ServiceHandle", "ServiceOptions", "SweepCell", "SweepGrid",
-    "SweepResult", "audit", "campaign", "run", "serve", "sweep",
+    "SweepResult", "UnknownScenarioError", "UnknownSchemeError",
+    "audit", "campaign", "run", "serve", "sweep",
 ]
 
 
@@ -86,19 +89,36 @@ class AuditReport:
         return not self.unwaived
 
 
-def _as_scenario(scenario) -> Scenario:
-    """Accept a built Scenario, a ScenarioSpec, or a builder name."""
+def _as_scenario(scenario, options: RunOptions | None = None) -> Scenario:
+    """Accept a built Scenario, a ScenarioSpec, or a registered name.
+
+    When ``options.classes`` is set and the scenario is built here (by
+    name or spec) from a builder that accepts a ``classes`` kwarg, the
+    class mix is folded into the build — so ``repro.run("Pretium",
+    "quick", options=RunOptions(classes="qos3"))`` prices a multi-class
+    world.  A spec that already pins ``classes`` keeps its own.
+    """
     if isinstance(scenario, Scenario):
         return scenario
     if isinstance(scenario, ScenarioSpec):
-        return scenario.build()
-    if isinstance(scenario, str):
-        if scenario not in SCENARIO_BUILDERS:
-            raise ValueError(f"unknown scenario {scenario!r}; expected "
-                             f"one of {sorted(SCENARIO_BUILDERS)}")
-        return ScenarioSpec.of(scenario).build()
-    raise TypeError(f"cannot interpret {type(scenario).__name__} as a "
-                    "scenario (expected Scenario, ScenarioSpec or name)")
+        spec = scenario
+    elif isinstance(scenario, str):
+        # ScenarioSpec validates the name against repro.registry.SCENARIOS
+        # (UnknownScenarioError, a ValueError, lists the known names).
+        spec = ScenarioSpec.of(scenario)
+    else:
+        raise TypeError(
+            f"cannot interpret {type(scenario).__name__} as a scenario; "
+            "expected a built Scenario, a ScenarioSpec, or a scenario "
+            f"name from repro.registry.SCENARIOS {SCENARIOS.names()}")
+    classes = getattr(options, "classes", None)
+    if classes is not None and "classes" not in dict(spec.kwargs):
+        import inspect
+        builder = SCENARIOS.get(spec.name)
+        if "classes" in inspect.signature(builder).parameters:
+            spec = ScenarioSpec.of(spec.name, classes=classes,
+                                   **dict(spec.kwargs))
+    return spec.build()
 
 
 def _as_grid(grid) -> SweepGrid:
@@ -106,15 +126,15 @@ def _as_grid(grid) -> SweepGrid:
     if isinstance(grid, SweepGrid):
         return grid
     if isinstance(grid, Mapping):
-        unknown = set(grid) - {"schemes", "scenarios", "seeds"}
+        unknown = set(grid) - {"schemes", "scenarios", "seeds", "routings"}
         if unknown:
             raise TypeError(f"unknown grid key(s) "
                             f"{', '.join(map(repr, sorted(unknown)))}; "
-                            "expected schemes/scenarios/seeds")
+                            "expected schemes/scenarios/seeds/routings")
         return SweepGrid(**grid)
     raise TypeError(f"cannot interpret {type(grid).__name__} as a sweep "
-                    "grid (expected SweepGrid or a mapping with "
-                    "schemes/scenarios/seeds)")
+                    "grid; expected a SweepGrid or a mapping with "
+                    "schemes/scenarios/seeds (and optionally routings)")
 
 
 def run(scheme, scenario, *, options: RunOptions | None = None) -> RunReport:
@@ -128,7 +148,7 @@ def run(scheme, scenario, *, options: RunOptions | None = None) -> RunReport:
     :class:`~repro.options.RunOptions`.
     """
     options = options or RunOptions()
-    scenario = _as_scenario(scenario)
+    scenario = _as_scenario(scenario, options)
     result = run_scheme(scheme, scenario, options=options)
     telemetry = options.telemetry
     return RunReport(result=result,
@@ -262,7 +282,7 @@ def serve(scheme, scenario, *, options: RunOptions | None = None,
 
     options = options or RunOptions()
     service_options = service_options or ServiceOptions()
-    scenario = _as_scenario(scenario)
+    scenario = _as_scenario(scenario, options)
     workload = scenario.workload
     stack = ExitStack()
     try:

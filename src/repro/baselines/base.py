@@ -58,7 +58,8 @@ def solve_offline_schedule(workload: Workload, items: list[ScheduleItem],
                            include_costs: bool = True,
                            objective: str = "weighted",
                            paths: PathCache | None = None,
-                           builder: str = "coo"
+                           builder: str = "coo",
+                           routing: str = "kpaths"
                            ) -> OfflineSchedule:
     """Solve the offline routing LP over the full horizon.
 
@@ -76,12 +77,18 @@ def solve_offline_schedule(workload: Workload, items: list[ScheduleItem],
     Both are subject to per-request caps and per-(link, timestep)
     capacities.  ``builder`` selects the construction path — ``"coo"``
     (batched numpy triplets, the default) or ``"expr"`` (the reference
-    expression builder); both assemble the identical LP.
+    expression builder); both assemble the identical LP.  ``routing``
+    selects the admissible-set policy when no explicit ``paths`` cache is
+    supplied (see :data:`repro.network.ROUTING_POLICIES`), so offline
+    baselines optimise over the same route sets an online scheme under
+    the same policy would quote over.
     """
     if objective not in ("weighted", "bytes_then_cost"):
         raise ValueError(f"unknown objective {objective!r}")
     if builder not in ("coo", "expr"):
         raise ValueError(f"unknown builder {builder!r}")
+    if paths is None:
+        paths = PathCache(workload.topology, k=route_count, policy=routing)
     if builder == "coo":
         return _solve_offline_schedule_coo(
             workload, items, route_count, topk_fraction, topk_encoding,
@@ -129,7 +136,8 @@ def _solve_offline_schedule_coo(workload: Workload,
         request = item.request
         if item.cap <= EPS:
             continue
-        routes = paths.routes(request.src, request.dst)
+        routes = paths.routes(request.src, request.dst,
+                              rid=request.rid)
         steps = np.arange(request.start, min(request.deadline + 1, n_steps))
         if item.allowed_steps is not None:
             steps = steps[[t in item.allowed_steps for t in steps.tolist()]]
@@ -260,7 +268,8 @@ def _solve_offline_schedule_expr(workload: Workload,
         request = item.request
         if item.cap <= EPS:
             continue
-        routes = paths.routes(request.src, request.dst)
+        routes = paths.routes(request.src, request.dst,
+                              rid=request.rid)
         flows = []
         for path in routes:
             for t in range(request.start, min(request.deadline + 1, n_steps)):

@@ -36,13 +36,15 @@ class NoPrices(OfflineScheme):
 
     def __init__(self, route_count: int = 3, topk_fraction: float = 0.1,
                  topk_encoding: str = "cvar",
-                 mode: str = "bytes_then_cost") -> None:
+                 mode: str = "bytes_then_cost",
+                 routing: str = "kpaths") -> None:
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}")
         self.route_count = route_count
         self.topk_fraction = topk_fraction
         self.topk_encoding = topk_encoding
         self.mode = mode
+        self.routing = routing
 
     def run(self, workload: Workload) -> RunResult:
         items = [ScheduleItem(request=r, weight=1.0, cap=r.demand)
@@ -53,7 +55,7 @@ class NoPrices(OfflineScheme):
             topk_encoding=self.topk_encoding,
             include_costs=self.mode != "cost_blind",
             objective="weighted" if self.mode == "weighted"
-            else "bytes_then_cost")
+            else "bytes_then_cost", routing=self.routing)
         return run_result(workload, self.name, schedule,
                           extras={"objective": schedule.objective,
                                   "mode": self.mode})

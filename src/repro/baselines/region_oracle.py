@@ -33,13 +33,15 @@ class RegionOracle(OfflineScheme):
 
     def __init__(self, grid_points: int = 6, route_count: int = 3,
                  topk_fraction: float = 0.1,
-                 topk_encoding: str = "cvar") -> None:
+                 topk_encoding: str = "cvar",
+                 routing: str = "kpaths") -> None:
         if grid_points < 1:
             raise ValueError("grid_points must be positive")
         self.grid_points = grid_points
         self.route_count = route_count
         self.topk_fraction = topk_fraction
         self.topk_encoding = topk_encoding
+        self.routing = routing
 
     def run(self, workload: Workload) -> RunResult:
         grid = value_grid(workload.requests, self.grid_points)
@@ -82,7 +84,7 @@ class RegionOracle(OfflineScheme):
             workload, items, route_count=self.route_count,
             topk_fraction=self.topk_fraction,
             topk_encoding=self.topk_encoding, include_costs=True,
-            objective="bytes_then_cost")
+            objective="bytes_then_cost", routing=self.routing)
         payments = {rid: prices[rid] * volume
                     for rid, volume in schedule.delivered.items()}
         chosen = {item.request.rid: item.request.demand for item in items}

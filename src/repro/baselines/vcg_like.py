@@ -31,12 +31,15 @@ class VCGLike(OfflineScheme):
 
     name = "VCGLike"
 
-    def __init__(self, route_count: int = 3) -> None:
+    def __init__(self, route_count: int = 3,
+                 routing: str = "kpaths") -> None:
         self.route_count = route_count
+        self.routing = routing
 
     def run(self, workload: Workload) -> RunResult:
         topology = workload.topology
-        paths = PathCache(topology, k=self.route_count)
+        paths = PathCache(topology, k=self.route_count,
+                          policy=self.routing)
         capacities = np.array([link.capacity for link in topology.links])
         loads = np.zeros((workload.n_steps, topology.num_links))
         delivered: dict[int, float] = defaultdict(float)
@@ -102,7 +105,8 @@ class VCGLike(OfflineScheme):
         var_paths: list[tuple[int, tuple[int, ...], object]] = []
         objective_terms = []
         for request in requests:
-            routes = paths.routes(request.src, request.dst)
+            routes = paths.routes(request.src, request.dst,
+                                  rid=request.rid)
             flows = []
             for path in routes:
                 var = model.add_variable(f"x[{request.rid}]", lb=0.0)

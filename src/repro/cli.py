@@ -63,15 +63,14 @@ import sys
 
 from . import api
 from .costs import LinkCostModel
-from .experiments import (SCHEME_FACTORIES, format_series, format_table,
-                          standard_scenario)
+from .experiments import format_series, format_table, standard_scenario
 from .experiments import figures as figures_module
-from .experiments.scenarios import (SCENARIO_BUILDERS, Scenario,
-                                    ScenarioSpec)
+from .experiments.scenarios import Scenario, ScenarioSpec
 from .experiments.sweep import SweepGrid
 from .faults import FaultSpecError
-from .network import wan_topology
+from .network import ROUTING_POLICIES, wan_topology
 from .options import RunOptions
+from .registry import SCENARIOS, SCHEMES
 from .sim import save_summary
 from .telemetry import (audit_events, chrome_trace_json, flame_report,
                         prometheus_text, read_trace, report_trace,
@@ -116,7 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run a scheme over a workload")
     run.add_argument("--scheme", default="Pretium",
-                     choices=sorted(SCHEME_FACTORIES))
+                     choices=SCHEMES.names())
     run.add_argument("--workload", help="workload artifact from "
                                         "generate-workload (default: the "
                                         "standard scenario)")
@@ -135,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "step, STEP-STEP range, * or pPROB)")
     run.add_argument("--fault-seed", type=int, default=0,
                      help="seed for probabilistic fault rules")
+    run.add_argument("--link-kills", metavar="SPEC",
+                     help="schedule link failures; SPEC is comma-"
+                          "separated SRC>DST@START[-END] clauses, e.g. "
+                          "'S>M1@3' (dynamic routing policies re-route "
+                          "and re-hash around the dead link)")
     run.add_argument("--workers", type=int, default=1,
                      help="worker processes recorded in RunOptions (a "
                           "single run executes in-process; see 'sweep' "
@@ -143,10 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     swp = sub.add_parser("sweep", help="run a scheme x scenario x seed "
                                        "grid, optionally in parallel")
-    swp.add_argument("--schemes", default=",".join(sorted(SCHEME_FACTORIES)),
+    swp.add_argument("--schemes", default=",".join(SCHEMES.names()),
                      help="comma-separated scheme names (default: all)")
     swp.add_argument("--scenario", default="standard",
-                     choices=sorted(SCENARIO_BUILDERS),
+                     choices=SCENARIOS.names(),
                      help="scenario builder for every cell")
     swp.add_argument("--loads", metavar="L1,L2,...",
                      help="comma-separated load factors; each becomes its "
@@ -197,9 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
     srv = sub.add_parser("serve", help="run the live admission service "
                                        "under synthetic open-loop load")
     srv.add_argument("--scheme", default="Pretium",
-                     choices=sorted(SCHEME_FACTORIES))
+                     choices=SCHEMES.names())
     srv.add_argument("--scenario", default="tiny",
-                     choices=sorted(SCENARIO_BUILDERS),
+                     choices=SCENARIOS.names(),
                      help="world to price (topology/horizon) and the "
                           "arrival stream the load generator replays")
     srv.add_argument("--seed", type=int, default=0,
@@ -336,6 +340,18 @@ def _add_knob_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--solver-retries", type=int, metavar="N",
                         help="extra solve attempts after a transient "
                              "solver failure (default: 2)")
+    parser.add_argument("--routing", choices=list(ROUTING_POLICIES),
+                        help="routing policy for every scheme: kpaths "
+                             "(static k-shortest paths, the reference), "
+                             "ecmp (equal-cost min-hop spreading) or "
+                             "flowlet (per-request hash onto one "
+                             "candidate path, re-hashed when links "
+                             "fail; default: kpaths)")
+    parser.add_argument("--classes", metavar="MIX",
+                        help="traffic-class mix for scenarios built by "
+                             "name, e.g. 'qos3' (interactive/elastic/"
+                             "background); overrides the scenario "
+                             "builder's default mix")
 
 
 def _options_from_args(args) -> RunOptions:
@@ -345,8 +361,13 @@ def _options_from_args(args) -> RunOptions:
         solver_backend=args.solver_backend,
         sam_skeleton_cache=args.sam_skeleton_cache,
         sam_fast_path=args.sam_fast_path,
-        solver_retries=args.solver_retries, faults=args.faults,
-        fault_seed=args.fault_seed, telemetry=args.telemetry,
+        solver_retries=args.solver_retries,
+        routing=getattr(args, "routing", None),
+        classes=getattr(args, "classes", None),
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        link_kills=getattr(args, "link_kills", None),
+        telemetry=args.telemetry,
         workers=getattr(args, "workers", 1),
         chunk_size=getattr(args, "chunk_size", None),
         worker_start=getattr(args, "worker_start", "auto"))
@@ -588,7 +609,7 @@ def _render_figure(figure_id: str, data: dict) -> str:
 
 
 def _cmd_list_schemes() -> int:
-    for name in sorted(SCHEME_FACTORIES):
+    for name in SCHEMES.names():
         print(name)
     return 0
 

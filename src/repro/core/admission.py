@@ -148,7 +148,7 @@ class RequestAdmission:
         if cache is not None:
             cached = cache.get(request, now)
             if cached is not None:
-                return cached
+                return self._apply_class_price(request, cached)
         budget = self.quote_budget
         if budget is not None and budget() <= 0.0:
             from ..faults.resilience import QuoteBudgetExceeded
@@ -161,11 +161,12 @@ class RequestAdmission:
             menu = self.quote_reference(request, now)
         if cache is not None:
             cache.put(request, now, menu)
-        return menu
+        return self._apply_class_price(request, menu)
 
     def quote_reference(self, request: ByteRequest, now: int) -> PriceMenu:
         """The reference O(routes x window) rescan-per-segment greedy."""
-        routes = self.state.paths.routes(request.src, request.dst)
+        routes = self.state.paths.routes(request.src, request.dst,
+                                         rid=request.rid)
         config = self.state.config
         if not routes:
             return PriceMenu([], best_effort=config.allow_best_effort)
@@ -221,7 +222,8 @@ class RequestAdmission:
         costs one array pass per timestep.
         """
         config = self.state.config
-        routes = self.state.paths.routes(request.src, request.dst)
+        routes = self.state.paths.routes(request.src, request.dst,
+                                         rid=request.rid)
         first = max(request.start, now)
         steps = [t for t in range(first, request.deadline + 1)
                  if t < self.state.n_steps]
@@ -247,7 +249,27 @@ class RequestAdmission:
             take = min(available, request.demand - covered)
             segments.append(MenuSegment(take, price, route, t))
             covered += take
-        return PriceMenu(segments, best_effort=config.allow_best_effort)
+        return self._apply_class_price(
+            request,
+            PriceMenu(segments, best_effort=config.allow_best_effort))
+
+    def _apply_class_price(self, request: ByteRequest,
+                           menu: PriceMenu) -> PriceMenu:
+        """Scale a quoted menu by the request class's price multiplier.
+
+        Interactive-style classes pay a premium, background classes get a
+        discount; the neutral multiplier (1.0) returns the menu object
+        untouched, so single-class runs stay bit-identical.  Cached menus
+        store *base* prices (the cache key is class-agnostic), so the
+        multiplier applies symmetrically to hits and fresh quotes.
+        """
+        factor = self.state.class_for(request).price_multiplier
+        if factor == 1.0:
+            return menu
+        segments = [MenuSegment(seg.quantity, seg.unit_price * factor,
+                                seg.path, seg.timestep)
+                    for seg in menu.segments]
+        return PriceMenu(segments, best_effort=menu.best_effort)
 
     def _path_head(self, path: Path, t: int,
                    scratch: dict[tuple[int, int], float]

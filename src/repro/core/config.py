@@ -33,6 +33,12 @@ class PretiumConfig:
     ----------
     route_count:
         Admissible shortest paths per datacenter pair (|R_i|).
+    routing:
+        Routing policy deriving a request's admissible set from the
+        k-shortest candidates: ``"kpaths"`` (the paper's static sets,
+        default), ``"ecmp"`` (minimum-hop equal-cost subset) or
+        ``"flowlet"`` (hash-pinned single path per request, re-hashed
+        when a link fails).  See :data:`repro.network.ROUTING_POLICIES`.
     window:
         Price-window length ``W`` in timesteps; the price computer runs at
         the start of every window (the paper recommends daily updates with
@@ -125,6 +131,7 @@ class PretiumConfig:
     """
 
     route_count: int = 3
+    routing: str = "kpaths"
     window: int = 24
     lookback: int = 36
     initial_price: float = 0.1
@@ -171,6 +178,10 @@ class PretiumConfig:
     def __post_init__(self) -> None:
         if self.route_count <= 0:
             raise ValueError("route_count must be positive")
+        from ..network.paths import ROUTING_POLICIES
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(f"unknown routing policy {self.routing!r}; "
+                             f"expected one of {list(ROUTING_POLICIES)}")
         if self.window <= 0:
             raise ValueError("window must be positive")
         if self.lookback < self.window:

@@ -88,6 +88,7 @@ class PretiumController:
         self.user = self._user_model or (
             BestResponseUser() if config.menu_enabled else AllOrNothingUser())
         self.state = NetworkState(workload.topology, workload.n_steps, config)
+        self.state.set_traffic_classes(getattr(workload, "classes", ()))
         if config.faults is not None:
             self.injector = FaultInjector.from_spec(config.faults,
                                                     seed=config.fault_seed)

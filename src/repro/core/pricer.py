@@ -137,7 +137,8 @@ class PriceComputer:
         inc_vars: list[np.ndarray] = []
         for contract in contracts:
             request = contract.request
-            routes = state.paths.routes(request.src, request.dst)
+            routes = state.paths.routes(request.src, request.dst,
+                                        rid=request.rid)
             first = max(request.start, period_start)
             last = min(request.deadline, period_end - 1)
             steps = np.arange(first, last + 1)
@@ -253,7 +254,8 @@ class PriceComputer:
         value_terms = []
         for contract in contracts:
             request = contract.request
-            routes = state.paths.routes(request.src, request.dst)
+            routes = state.paths.routes(request.src, request.dst,
+                                        rid=request.rid)
             first = max(request.start, period_start)
             last = min(request.deadline, period_end - 1)
             flows = []

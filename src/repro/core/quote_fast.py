@@ -50,7 +50,8 @@ def quote_heap(state: NetworkState, request: ByteRequest,
     menu segment, and virtually reserve it until the demand is covered.
     """
     config = state.config
-    routes = state.paths.routes(request.src, request.dst)
+    routes = state.paths.routes(request.src, request.dst,
+                                rid=request.rid)
     if not routes:
         return PriceMenu([], best_effort=config.allow_best_effort)
     first = max(request.start, now)

@@ -44,6 +44,13 @@ class ByteRequest:
         If true, this is a best-effort "scavenger class" request (§4.4):
         it receives no guarantee and is scheduled only into leftover
         capacity at the price it named.
+    cls:
+        Name of the request's traffic class
+        (:class:`~repro.traffic.classes.TrafficClass`).  A name, not the
+        object, so requests stay light and JSON/pickle-friendly; the
+        class table travels on the workload and
+        :class:`~repro.core.state.NetworkState` resolves names at
+        scheduling time.  ``"default"`` is the pre-class pipeline.
     """
 
     rid: int
@@ -55,6 +62,7 @@ class ByteRequest:
     deadline: int
     value: float
     scavenger: bool = False
+    cls: str = "default"
 
     def __post_init__(self) -> None:
         if self.src == self.dst:

@@ -311,7 +311,8 @@ class ScheduleAdjuster:
         inc_vars: list[np.ndarray] = []
         for contract in active:
             request = contract.request
-            routes = state.paths.routes(request.src, request.dst)
+            routes = state.paths.routes(request.src, request.dst,
+                                        rid=request.rid)
             first = max(request.start, now)
             skeleton = None if cache is None else cache.get(contract.rid)
             if skeleton is not None and (
@@ -334,28 +335,50 @@ class ScheduleAdjuster:
             if n_vars == 0:
                 continue
             remaining_cap = contract.chosen - delivered.get(contract.rid, 0.0)
+            cls = state.class_for(request)
+            value = contract.marginal_price if cls.weight == 1.0 \
+                else cls.weight * contract.marginal_price
             block = model.add_variables_array(
                 n_vars, f"x[{contract.rid}]", lb=0.0, ub=remaining_cap)
             flows = block.indices.reshape(len(routes), steps.size)
             obj_cols.append(flows.ravel())
-            obj_vals.append(np.full(n_vars, contract.marginal_price))
+            obj_vals.append(np.full(n_vars, value))
             for r, path in enumerate(routes):
                 plan_entries.append((contract, path, steps, flows[r]))
             inc_links.append(rel_links)
             inc_steps.append(rel_steps)
             inc_vars.append(rel_vars + block.start)
             rows = [np.zeros(n_vars, dtype=np.int64)]
+            cols = [flows.ravel()]
+            vals = [np.ones(n_vars)]
             senses = [LE]
             rhs = [remaining_cap]
             if enforce_guarantees:
                 need = contract.guaranteed - delivered.get(contract.rid, 0.0)
                 if need > EPS:
                     rows.append(np.ones(n_vars, dtype=np.int64))
+                    cols.append(flows.ravel())
+                    vals.append(np.ones(n_vars))
                     senses.append(GE)
                     rhs.append(need)
+                    if cls.preemptible:
+                        # Soft guarantee: a slack variable lets the LP
+                        # renege on a preemptible contract's remaining
+                        # guarantee, at a penalty steep enough (twice
+                        # the weighted value plus the floor) that it
+                        # only pays off when the capacity is worth more
+                        # to non-preemptible traffic.
+                        slack = model.add_variables_array(
+                            1, f"preempt[{contract.rid}]", lb=0.0)
+                        rows.append(np.ones(1, dtype=np.int64))
+                        cols.append(slack.indices)
+                        vals.append(np.ones(1))
+                        obj_cols.append(slack.indices)
+                        obj_vals.append(np.array(
+                            [-(2.0 * value + config.price_floor)]))
             model.add_constraints_coo(
-                np.concatenate(rows), np.tile(flows.ravel(), len(rows)),
-                np.ones(n_vars * len(rows)), senses, rhs,
+                np.concatenate(rows), np.concatenate(cols),
+                np.concatenate(vals), senses, rhs,
                 name=f"demand[{contract.rid}]")
 
         if cache is not None:
@@ -490,9 +513,13 @@ class ScheduleAdjuster:
         value_terms = []
         for contract in active:
             request = contract.request
-            routes = state.paths.routes(request.src, request.dst)
+            routes = state.paths.routes(request.src, request.dst,
+                                        rid=request.rid)
             first = max(request.start, now)
             remaining_cap = contract.chosen - delivered.get(contract.rid, 0.0)
+            cls = state.class_for(request)
+            value = contract.marginal_price if cls.weight == 1.0 \
+                else cls.weight * contract.marginal_price
             flows = []
             for path in routes:
                 for t in range(first, request.deadline + 1):
@@ -502,7 +529,7 @@ class ScheduleAdjuster:
                     flows.append(var)
                     for index in path.link_indices():
                         by_link_step.setdefault((index, t), []).append(var)
-                    value_terms.append(contract.marginal_price * var)
+                    value_terms.append(value * var)
             if not flows:
                 continue
             total = quicksum(flows)
@@ -511,8 +538,22 @@ class ScheduleAdjuster:
             if enforce_guarantees:
                 need = contract.guaranteed - delivered.get(contract.rid, 0.0)
                 if need > EPS:
-                    model.add_constraint(total >= need,
-                                         name=f"guarantee[{contract.rid}]")
+                    if cls.preemptible:
+                        # Same soft guarantee as the COO builder: the
+                        # slack's penalty makes reneging strictly worse
+                        # than delivering unless the freed capacity is
+                        # worth more elsewhere.
+                        slack = model.add_variable(
+                            f"preempt[{contract.rid}]", lb=0.0)
+                        model.add_constraint(
+                            quicksum([*flows, slack]) >= need,
+                            name=f"guarantee[{contract.rid}]")
+                        value_terms.append(
+                            -(2.0 * value + config.price_floor) * slack)
+                    else:
+                        model.add_constraint(
+                            total >= need,
+                            name=f"guarantee[{contract.rid}]")
 
         # Capacity per (link, timestep) actually used by any variable, plus
         # a tiny penalty on volume in the congested segment: SAM's LP has

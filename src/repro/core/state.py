@@ -28,7 +28,13 @@ class NetworkState:
         self.topology = topology
         self.n_steps = n_steps
         self.config = config
-        self.paths = PathCache(topology, k=config.route_count)
+        self.paths = PathCache(topology, k=config.route_count,
+                               policy=config.routing)
+
+        #: Traffic-class table: name -> TrafficClass.  Installed from the
+        #: workload by the controller (see :meth:`set_traffic_classes`);
+        #: empty means every request is the neutral default class.
+        self.traffic_classes: dict = {}
 
         usable = np.array([link.capacity for link in topology.links])
         usable = usable * (1.0 - config.highpri_fraction)
@@ -71,6 +77,22 @@ class NetworkState:
         #: changed and the cached plan tail may no longer be feasible.
         self.capacity_version = 0
 
+    # -- traffic classes ----------------------------------------------
+    def set_traffic_classes(self, classes) -> None:
+        """Install the workload's traffic-class table (name -> spec)."""
+        self.traffic_classes = {cls.name: cls for cls in classes or ()}
+
+    def class_for(self, request) -> "object":
+        """The :class:`~repro.traffic.classes.TrafficClass` governing a
+        request (the neutral default when the table has no entry)."""
+        name = getattr(request, "cls", "default")
+        cls = self.traffic_classes.get(name)
+        if cls is None:
+            # Deferred: repro.traffic imports repro.core at package init.
+            from ..traffic.classes import DEFAULT_CLASS
+            return DEFAULT_CLASS
+        return cls
+
     # -- capacity ------------------------------------------------------
     def residual(self, t: int) -> np.ndarray:
         """Unreserved usable capacity on every link at timestep ``t``."""
@@ -93,6 +115,10 @@ class NetworkState:
         self.capacity[start:end, link.index] = 1e-9
         self.link_versions[link.index] += 1
         self.capacity_version += 1
+        # Dynamic routing policies (ecmp/flowlet) also route *around* the
+        # dead link and re-hash flowlets; kpaths keeps its static sets
+        # (refresh is a no-op there) and relies on the zeroed capacity.
+        self.paths.refresh(dead=((src, dst),))
 
     def set_highpri_usage(self, t: int, link_index: int,
                           volume: float) -> None:

@@ -7,26 +7,39 @@ from .figure2 import ExampleRow, figure2_table
 from .incentives import (DEVIATIONS, DeviationOutcome, DeviationReport,
                          deviation_study)
 from .report import format_series, format_table
-from .runner import (SCHEME_FACTORIES, SCHEME_SPECS, SchemeSpec,
-                     make_scheme, run_scheme, run_schemes, scheme_spec,
-                     summaries)
-from .scenarios import (DEFAULT_SEED, LOAD_FACTORS, SCENARIO_BUILDERS,
-                        Scenario, ScenarioSpec, production_scenario,
+from .runner import (SCHEME_SPECS, SchemeSpec, make_scheme, run_scheme,
+                     run_schemes, scheme_spec, summaries)
+from .scenarios import (DEFAULT_SEED, LOAD_FACTORS, Scenario, ScenarioSpec,
+                        multiclass_scenario, production_scenario,
                         quick_scenario, standard_scenario,
                         standard_topology, tiny_scenario)
 from .sweep import (CellResult, SweepCell, SweepGrid, SweepResult,
                     cached_scenario, clear_scenario_cache, run_cell,
                     run_sweep, scenario_cache_stats)
 
+
+def __getattr__(name: str):
+    # Forward the deprecated table aliases (with their warnings) so old
+    # ``from repro.experiments import SCHEME_FACTORIES`` imports still
+    # work; the canonical home is repro.registry.
+    if name == "SCHEME_FACTORIES":
+        from . import runner
+        return runner.SCHEME_FACTORIES
+    if name == "SCENARIO_BUILDERS":
+        from . import scenarios
+        return scenarios.SCENARIO_BUILDERS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "CAMPAIGN_PRESETS", "CampaignResult", "CampaignSpec",
     "CampaignSweepSpec", "CellResult", "DEFAULT_SEED", "DEVIATIONS",
     "DeviationOutcome", "DeviationReport", "ExampleRow", "LOAD_FACTORS",
-    "SCENARIO_BUILDERS", "SCHEME_FACTORIES", "SCHEME_SPECS", "Scenario",
+    "SCHEME_SPECS", "Scenario",
     "ScenarioSpec", "SchemeSpec", "SweepCell", "SweepGrid", "SweepResult",
     "cached_scenario", "campaign_spec", "clear_scenario_cache",
     "deviation_study", "figure2_table", "figures", "format_series",
-    "format_table", "make_scheme", "production_scenario", "quick_scenario",
+    "format_table", "make_scheme", "multiclass_scenario",
+    "production_scenario", "quick_scenario",
     "run_campaign", "run_cell", "run_scheme", "run_schemes", "run_sweep",
     "scenario_cache_stats", "scheme_spec", "standard_scenario",
     "standard_topology", "summaries", "tiny_scenario",

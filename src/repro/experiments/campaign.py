@@ -52,7 +52,7 @@ from typing import Callable
 from ..options import RunOptions
 from .report import format_table
 from .runner import scheme_spec
-from .scenarios import SCENARIO_BUILDERS, ScenarioSpec
+from .scenarios import ScenarioSpec
 from .sweep import SweepGrid, SweepResult, run_sweep
 
 
@@ -69,7 +69,8 @@ class CampaignSweepSpec:
     ``loads`` expands into one scenario column per load factor (the
     Figure 6/8/9 idiom); ``scenario_kwargs`` are passed to the scenario
     builder for every column (the paper-scale preset stretches the
-    horizon with ``n_days``/``steps_per_day`` here).
+    horizon with ``n_days``/``steps_per_day`` here).  ``routing``, when
+    set, runs every cell of this sweep under that routing policy.
     """
 
     name: str
@@ -78,14 +79,22 @@ class CampaignSweepSpec:
     loads: tuple[float, ...] = ()
     seeds: tuple[int, ...] = (0,)
     scenario_kwargs: tuple[tuple[str, object], ...] = ()
+    routing: str | None = None
 
     def __post_init__(self) -> None:
+        from ..network import ROUTING_POLICIES
+        from ..registry import SCENARIOS, UnknownScenarioError
         if not self.name:
             raise CampaignError("every sweep needs a non-empty name")
-        if self.scenario not in SCENARIO_BUILDERS:
+        try:
+            SCENARIOS.get(self.scenario)
+        except UnknownScenarioError as exc:
+            raise CampaignError(f"sweep {self.name!r}: {exc}") from None
+        if self.routing is not None and \
+                self.routing not in ROUTING_POLICIES:
             raise CampaignError(
-                f"sweep {self.name!r}: unknown scenario {self.scenario!r}; "
-                f"expected one of {sorted(SCENARIO_BUILDERS)}")
+                f"sweep {self.name!r}: unknown routing {self.routing!r}; "
+                f"expected one of {list(ROUTING_POLICIES)}")
         for scheme in self.schemes:
             try:
                 scheme_spec(scheme)
@@ -103,7 +112,8 @@ class CampaignSweepSpec:
 
     def grid(self) -> SweepGrid:
         return SweepGrid(schemes=self.schemes,
-                         scenarios=self.scenario_specs(), seeds=self.seeds)
+                         scenarios=self.scenario_specs(), seeds=self.seeds,
+                         routings=(self.routing,))
 
 
 @dataclass(frozen=True)
@@ -187,12 +197,13 @@ class CampaignSpec:
     @staticmethod
     def _sweep_from(entry: dict) -> CampaignSweepSpec:
         known = {"name", "schemes", "scenario", "loads", "seeds",
-                 "scenario_kwargs"}
+                 "scenario_kwargs", "routing"}
         unknown = sorted(set(entry) - known)
         if unknown:
             raise CampaignError(
                 f"sweep {entry.get('name', '?')!r}: unknown key(s) "
                 f"{', '.join(map(repr, unknown))}")
+        routing = entry.get("routing")
         return CampaignSweepSpec(
             name=str(entry.get("name", "")),
             schemes=tuple(entry.get("schemes", ())),
@@ -200,7 +211,8 @@ class CampaignSpec:
             loads=tuple(float(load) for load in entry.get("loads", ())),
             seeds=tuple(int(seed) for seed in entry.get("seeds", (0,))),
             scenario_kwargs=tuple(sorted(
-                dict(entry.get("scenario_kwargs", {})).items())))
+                dict(entry.get("scenario_kwargs", {})).items())),
+            routing=None if routing is None else str(routing))
 
     @staticmethod
     def _figure_from(entry: dict) -> CampaignFigureSpec:
@@ -258,7 +270,9 @@ class CampaignSpec:
                         "scenario": sweep.scenario,
                         "loads": list(sweep.loads),
                         "seeds": list(sweep.seeds),
-                        "scenario_kwargs": dict(sweep.scenario_kwargs)}
+                        "scenario_kwargs": dict(sweep.scenario_kwargs),
+                        **({} if sweep.routing is None
+                           else {"routing": sweep.routing})}
                        for sweep in self.sweeps],
             "figures": [{"name": figure.name, "kind": figure.kind,
                          "sweep": figure.sweep}
@@ -357,6 +371,33 @@ def _fig_scheme_timings(result, spec):
             "rows": rows, "caption": "per-scheme cell wall-clock"}
 
 
+def _fig_per_class(result, spec):
+    """Per-traffic-class outcomes: one row per (cell, class).
+
+    Only multi-class cells contribute — ``summarize()`` adds the
+    ``per_class`` roll-up when the workload declares classes; the README
+    walkthrough's "interactive pays more, background yields" figure.
+    """
+    rows = []
+    for cell in result.cells:
+        if not cell.ok or not cell.summary:
+            continue
+        per_class = cell.summary.get("per_class") or {}
+        for cls in sorted(per_class):
+            record = per_class[cls]
+            rows.append([cell.scheme, cell.scenario, cls,
+                         record["n_requests"],
+                         f"{record['delivered']:.1f}",
+                         f"{record['completion']:.3f}",
+                         f"{record['value']:.2f}",
+                         f"{record['payments']:.2f}"])
+    return {"columns": ["scheme", "scenario", "class", "requests",
+                        "delivered", "completion", "value", "payments"],
+            "rows": rows,
+            "caption": "per-class delivery and economics "
+                       "(multi-class cells only)"}
+
+
 #: Figure kinds a campaign spec may reference.  Each takes
 #: ``(SweepResult, CampaignSweepSpec)`` and returns a renderable table:
 #: ``{"columns": [...], "rows": [...], "caption": str}``.
@@ -366,6 +407,7 @@ FIGURE_KINDS: dict[str, Callable] = {
     "completion_vs_load": _fig_completion_vs_load,
     "cell_table": _fig_cell_table,
     "scheme_timings": _fig_scheme_timings,
+    "per_class": _fig_per_class,
 }
 
 
@@ -743,11 +785,16 @@ CAMPAIGN_PRESETS: dict[str, dict] = {
         "telemetry": True,
         "sweeps": [{"name": "main",
                     "schemes": ["Pretium", "NoPrices"],
-                    "scenario": "tiny", "loads": [2.0], "seeds": [0]}],
+                    "scenario": "tiny", "loads": [2.0], "seeds": [0]},
+                   {"name": "multiclass",
+                    "schemes": ["Pretium"],
+                    "scenario": "multiclass_medium", "seeds": [0],
+                    "routing": "flowlet"}],
         "figures": [
             {"name": "welfare", "kind": "welfare_vs_load", "sweep": "main"},
             {"name": "cells", "kind": "cell_table", "sweep": "main"},
             {"name": "timings", "kind": "scheme_timings", "sweep": "main"},
+            {"name": "classes", "kind": "per_class", "sweep": "multiclass"},
         ],
     },
     # The paper-scale evaluation: the 106-node / ~226-edge production

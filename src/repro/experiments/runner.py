@@ -81,9 +81,12 @@ def _options_kwargs(factory: Callable, options: RunOptions | None) -> dict:
     parameters = inspect.signature(factory).parameters
     if "config_overrides" in parameters:
         return {"config_overrides": overrides}
+    kwargs = {}
     if "builder" in parameters and "lp_builder" in overrides:
-        return {"builder": overrides["lp_builder"]}
-    return {}
+        kwargs["builder"] = overrides["lp_builder"]
+    if "routing" in parameters and "routing" in overrides:
+        kwargs["routing"] = overrides["routing"]
+    return kwargs
 
 
 #: Every named scheme in the evaluation, as picklable specs.  NoPrices
@@ -106,21 +109,37 @@ SCHEME_SPECS = {
     "Pretium-NoSAM": SchemeSpec.of("Pretium-NoSAM", PretiumNoSAM),
 }
 
-#: Backwards-compatible alias: the values are callable (a SchemeSpec
-#: invoked with no arguments builds the scheme), so existing
-#: ``SCHEME_FACTORIES[name]()`` call sites keep working.
-SCHEME_FACTORIES = SCHEME_SPECS
+def __getattr__(name: str):
+    # Deprecated alias kept for old import paths; the canonical home is
+    # repro.registry.SCHEMES (re-exported from repro.api).  The values
+    # are callable (a SchemeSpec invoked with no arguments builds the
+    # scheme), so existing ``SCHEME_FACTORIES[name]()`` sites still work.
+    if name == "SCHEME_FACTORIES":
+        import warnings
+        warnings.warn(
+            "repro.experiments.runner.SCHEME_FACTORIES is deprecated; "
+            "use repro.registry.SCHEMES (register/get/names) instead",
+            DeprecationWarning, stacklevel=2)
+        return SCHEME_SPECS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def scheme_spec(scheme: str | SchemeSpec) -> SchemeSpec:
-    """Resolve a scheme name (or pass a spec through) to a SchemeSpec."""
+    """Resolve a scheme name (or pass a spec through) to a SchemeSpec.
+
+    Exact names resolve against the live :data:`SCHEME_SPECS` table;
+    anything else falls through to :data:`repro.registry.SCHEMES`, which
+    adds case-insensitive matching and raises
+    :class:`~repro.registry.UnknownSchemeError` (a ``KeyError``) listing
+    the registered names.
+    """
     if isinstance(scheme, SchemeSpec):
         return scheme
-    try:
-        return SCHEME_SPECS[scheme]
-    except KeyError:
-        raise KeyError(f"unknown scheme {scheme!r}; expected one of "
-                       f"{sorted(SCHEME_SPECS)}") from None
+    spec = SCHEME_SPECS.get(scheme)
+    if spec is not None:
+        return spec
+    from ..registry import SCHEMES
+    return SCHEMES.get(scheme)
 
 
 def make_scheme(name: str, **kwargs):
@@ -158,9 +177,19 @@ def run_scheme(scheme, scenario: Scenario,
         with get_tracer().span("scheme.run", scheme=name,
                                workload=scenario.workload.description):
             if hasattr(scheme, "run"):
+                # Offline schemes solve against the capacity grid they
+                # are given; scheduled link kills have no meaning there.
                 result = scheme.run(scenario.workload)
             else:
-                result = simulate(scheme, scenario.workload)
+                # run_context is already entered here, so hand the
+                # engine a kills-only bundle: its own run_context pass
+                # is a no-op (no faults/telemetry) and only the
+                # link-kill schedule takes effect.
+                kills = None
+                if options is not None and options.link_kills is not None:
+                    kills = RunOptions(link_kills=options.link_kills)
+                result = simulate(scheme, scenario.workload,
+                                  options=kills)
         if env.injector is not None:
             result.extras["faults_injected"] = len(env.injector.injections)
     return result

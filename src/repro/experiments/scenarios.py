@@ -65,10 +65,14 @@ def standard_scenario(load_factor: float = 1.0,
                       cost_factor: float = 1.0,
                       n_days: int = 2,
                       steps_per_day: int = 12,
-                      max_requests_per_pair: int = 25) -> Scenario:
+                      max_requests_per_pair: int = 25,
+                      classes=None) -> Scenario:
     """The workhorse scenario behind Figures 6–11.
 
     Normal values with sigma < mean by default, matching Figure 6.
+    ``classes`` (``None``, a mix name, a ClassMix or TrafficClass
+    iterable) turns on multi-class synthesis — see
+    :func:`repro.traffic.build_workload`.
     """
     topology = standard_topology(seed=seed, cost_factor=cost_factor)
     workload = build_workload(
@@ -76,26 +80,29 @@ def standard_scenario(load_factor: float = 1.0,
         load_factor=load_factor,
         values=values or NormalValues(mean=1.0, sigma=0.5),
         target_mean_utilization=0.5,
-        max_requests_per_pair=max_requests_per_pair, seed=seed)
+        max_requests_per_pair=max_requests_per_pair, seed=seed,
+        classes=classes)
     cost_model = LinkCostModel(topology, billing_window=steps_per_day)
     return Scenario(topology, workload, cost_model)
 
 
 def quick_scenario(load_factor: float = 2.0,
-                   seed: int = DEFAULT_SEED) -> Scenario:
+                   seed: int = DEFAULT_SEED,
+                   classes=None) -> Scenario:
     """A small, fast world for tests and smoke checks."""
     topology = wan_topology(n_nodes=10, n_regions=2, metered_fraction=0.2,
                             metered_cost=25.0, seed=seed)
     workload = build_workload(
         topology, n_days=1, steps_per_day=8, load_factor=load_factor,
         values=NormalValues(1.0, 0.5), target_mean_utilization=0.5,
-        max_requests_per_pair=10, seed=seed)
+        max_requests_per_pair=10, seed=seed, classes=classes)
     return Scenario(topology, workload,
                     LinkCostModel(topology, billing_window=8))
 
 
 def tiny_scenario(load_factor: float = 2.0,
-                  seed: int = DEFAULT_SEED) -> Scenario:
+                  seed: int = DEFAULT_SEED,
+                  classes=None) -> Scenario:
     """The smallest meaningful world: ~90 requests over 6 steps.
 
     Every scheme (including the grid-search oracles and the per-step
@@ -108,18 +115,42 @@ def tiny_scenario(load_factor: float = 2.0,
     workload = build_workload(
         topology, n_days=1, steps_per_day=6, load_factor=load_factor,
         values=NormalValues(1.0, 0.5), target_mean_utilization=0.5,
-        max_requests_per_pair=3, seed=seed)
+        max_requests_per_pair=3, seed=seed, classes=classes)
     return Scenario(topology, workload,
                     LinkCostModel(topology, billing_window=6))
 
 
+def multiclass_scenario(load_factor: float = 2.0,
+                        seed: int = DEFAULT_SEED,
+                        classes="qos3") -> Scenario:
+    """A medium multi-class world (the ``multiclass_medium`` scenario).
+
+    Three QoS classes by default (interactive / elastic / background —
+    the ``"qos3"`` mix in :data:`repro.traffic.CLASS_MIXES`) over an
+    8-node WAN and one 8-step day: large enough for class interactions
+    (preemption, per-class pricing) to show, small enough for CI's
+    sweep-smoke leg.
+    """
+    topology = wan_topology(n_nodes=8, n_regions=2, metered_fraction=0.2,
+                            metered_cost=25.0, seed=seed)
+    workload = build_workload(
+        topology, n_days=1, steps_per_day=8, load_factor=load_factor,
+        values=NormalValues(1.0, 0.5), target_mean_utilization=0.5,
+        max_requests_per_pair=6, seed=seed, classes=classes)
+    return Scenario(topology, workload,
+                    LinkCostModel(topology, billing_window=8))
+
+
 #: Named scenario builders a :class:`ScenarioSpec` can refer to.  Keys
 #: are the names accepted by ``repro sweep --scenario`` and by
-#: :meth:`ScenarioSpec.of`.
-SCENARIO_BUILDERS = {
+#: :meth:`ScenarioSpec.of`.  The canonical registry is
+#: :data:`repro.registry.SCENARIOS`; this module-private dict is the
+#: backing store it is populated from.
+_SCENARIO_BUILDERS = {
     "standard": standard_scenario,
     "quick": quick_scenario,
     "tiny": tiny_scenario,
+    "multiclass_medium": multiclass_scenario,
     # filled in below (defined later in the module)
 }
 
@@ -140,21 +171,21 @@ class ScenarioSpec:
     kwargs: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.name not in SCENARIO_BUILDERS:
-            raise ValueError(f"unknown scenario {self.name!r}; expected "
-                             f"one of {sorted(SCENARIO_BUILDERS)}")
+        from ..registry import SCENARIOS
+        SCENARIOS.get(self.name)  # raises UnknownScenarioError if absent
 
     @classmethod
     def of(cls, name: str = "standard", **kwargs) -> "ScenarioSpec":
-        """Spec for ``SCENARIO_BUILDERS[name](**kwargs)``."""
+        """Spec for ``SCENARIOS.get(name)(**kwargs)``."""
         return cls(name, tuple(sorted(kwargs.items())))
 
     def build(self, seed: int | None = None) -> Scenario:
         """Build the scenario (``seed`` overrides any spec'd seed)."""
+        from ..registry import SCENARIOS
         kwargs = dict(self.kwargs)
         if seed is not None:
             kwargs["seed"] = seed
-        return SCENARIO_BUILDERS[self.name](**kwargs)
+        return SCENARIOS.get(self.name)(**kwargs)
 
     @property
     def label(self) -> str:
@@ -167,7 +198,8 @@ def production_scenario(load_factor: float = 1.0,
                         seed: int = DEFAULT_SEED,
                         request_cap: int = 1500,
                         n_days: int = 1,
-                        steps_per_day: int = 24) -> Scenario:
+                        steps_per_day: int = 24,
+                        classes=None) -> Scenario:
     """Paper-scale instance: 106 nodes / ~226 edges, one simulated day.
 
     Exercised by the integration smoke test and the campaign runner's
@@ -184,16 +216,30 @@ def production_scenario(load_factor: float = 1.0,
         topology, n_days=n_days, steps_per_day=steps_per_day,
         load_factor=load_factor,
         values=NormalValues(1.0, 0.5), target_mean_utilization=0.5,
-        max_requests_per_pair=5, seed=seed)
+        max_requests_per_pair=5, seed=seed, classes=classes)
     if request_cap and workload.n_requests > request_cap:
         heaviest = sorted(workload.requests, key=lambda r: -r.demand)
         keep = sorted(heaviest[:request_cap],
                       key=lambda r: (r.arrival, r.rid))
         workload = Workload(topology, keep, workload.n_steps,
                             workload.steps_per_day, workload.load_factor,
-                            workload.description + f" [top {request_cap}]")
+                            workload.description + f" [top {request_cap}]",
+                            classes=workload.classes)
     return Scenario(topology, workload,
                     LinkCostModel(topology, billing_window=steps_per_day))
 
 
-SCENARIO_BUILDERS["production"] = production_scenario
+_SCENARIO_BUILDERS["production"] = production_scenario
+
+
+def __getattr__(name: str):
+    # Deprecated alias kept for old import paths; the canonical home is
+    # repro.registry.SCENARIOS (re-exported from repro.api).
+    if name == "SCENARIO_BUILDERS":
+        import warnings
+        warnings.warn(
+            "repro.experiments.scenarios.SCENARIO_BUILDERS is deprecated; "
+            "use repro.registry.SCENARIOS (register/get/names) instead",
+            DeprecationWarning, stacklevel=2)
+        return _SCENARIO_BUILDERS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

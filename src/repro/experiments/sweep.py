@@ -81,16 +81,22 @@ from .scenarios import Scenario, ScenarioSpec
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One (scheme, scenario, seed) grid point, picklable end-to-end."""
+    """One (scheme, scenario, seed[, routing]) grid point, picklable
+    end-to-end.  ``routing=None`` means "whatever the run options say"
+    — the pre-routing grids pickle and label exactly as before."""
 
     index: int
     scheme: SchemeSpec
     scenario: ScenarioSpec
     seed: int
+    routing: str | None = None
 
     @property
     def label(self) -> str:
-        return f"{self.scheme.name}/{self.scenario.label}/seed={self.seed}"
+        base = f"{self.scheme.name}/{self.scenario.label}/seed={self.seed}"
+        if self.routing is not None:
+            base += f"/routing={self.routing}"
+        return base
 
 
 class SweepGrid:
@@ -101,20 +107,34 @@ class SweepGrid:
     objects.  Built :class:`~repro.experiments.scenarios.Scenario`
     instances are deliberately rejected — cells must be cheap to pickle
     into worker processes, and a spec rebuilt from its seed is exactly
-    as deterministic.
+    as deterministic.  ``routings`` adds an optional routing-policy axis
+    (names from :data:`repro.network.ROUTING_POLICIES`); the default
+    single ``None`` entry leaves routing to the run options, so grids
+    that don't ask for the axis are unchanged.
     """
 
     def __init__(self, schemes: Iterable, scenarios: Iterable = ("standard",),
-                 seeds: Iterable[int] = (0,)) -> None:
+                 seeds: Iterable[int] = (0,),
+                 routings: Iterable = (None,)) -> None:
+        from ..network import ROUTING_POLICIES
         self.schemes = tuple(scheme_spec(s) for s in schemes)
         self.scenarios = tuple(self._as_scenario_spec(s) for s in scenarios)
         self.seeds = tuple(int(s) for s in seeds)
+        self.routings = tuple(routings)
         if not self.schemes:
             raise ValueError("a sweep needs at least one scheme")
         if not self.scenarios:
             raise ValueError("a sweep needs at least one scenario")
         if not self.seeds:
             raise ValueError("a sweep needs at least one seed")
+        if not self.routings:
+            raise ValueError("a sweep needs at least one routing entry "
+                             "(None = defer to the run options)")
+        for routing in self.routings:
+            if routing is not None and routing not in ROUTING_POLICIES:
+                raise ValueError(f"unknown routing policy {routing!r}; "
+                                 f"expected one of {list(ROUTING_POLICIES)} "
+                                 "or None")
 
     @staticmethod
     def _as_scenario_spec(scenario) -> ScenarioSpec:
@@ -128,17 +148,21 @@ class SweepGrid:
             "worker processes as picklable specs, not built scenarios")
 
     def cells(self) -> list[SweepCell]:
-        """Grid cells in deterministic order (scenario, seed, scheme)."""
+        """Grid cells in deterministic order (scenario, seed, routing,
+        scheme)."""
         out = []
         for scenario in self.scenarios:
             for seed in self.seeds:
-                for scheme in self.schemes:
-                    out.append(SweepCell(index=len(out), scheme=scheme,
-                                         scenario=scenario, seed=seed))
+                for routing in self.routings:
+                    for scheme in self.schemes:
+                        out.append(SweepCell(index=len(out), scheme=scheme,
+                                             scenario=scenario, seed=seed,
+                                             routing=routing))
         return out
 
     def __len__(self) -> int:
-        return len(self.schemes) * len(self.scenarios) * len(self.seeds)
+        return (len(self.schemes) * len(self.scenarios) * len(self.seeds)
+                * len(self.routings))
 
 
 @dataclass
@@ -174,10 +198,14 @@ class CellResult:
     trace_path: str | None = None
     cache_hit: bool = False
     metrics: dict = field(default_factory=dict)
+    routing: str | None = None
 
     @property
     def label(self) -> str:
-        return f"{self.scheme}/{self.scenario}/seed={self.seed}"
+        base = f"{self.scheme}/{self.scenario}/seed={self.seed}"
+        if self.routing is not None:
+            base += f"/routing={self.routing}"
+        return base
 
 
 @dataclass
@@ -215,6 +243,8 @@ class SweepResult:
             record = {"cell": cell.index, "scheme": cell.scheme,
                       "scenario": cell.scenario, "seed": cell.seed,
                       "ok": cell.ok, "duration_s": cell.duration}
+            if cell.routing is not None:
+                record["routing"] = cell.routing
             if cell.ok:
                 record.update(cell.summary or {})
             else:
@@ -317,6 +347,8 @@ def run_cell(cell: SweepCell, options: RunOptions | None = None,
     pid = os.getpid()
     trace_path = None
     cell_options = options or RunOptions()
+    if cell.routing is not None:
+        cell_options = cell_options.replace(routing=cell.routing)
     if trace_base is not None:
         trace_path = _cell_trace_path(trace_base, cell.index)
         cell_options = cell_options.replace(
@@ -337,7 +369,8 @@ def run_cell(cell: SweepCell, options: RunOptions | None = None,
             _record_worker_stats(registry)
             return CellResult(
                 index=cell.index, scheme=cell.scheme.name,
-                scenario=cell.scenario.label, seed=cell.seed, ok=True,
+                scenario=cell.scenario.label, seed=cell.seed,
+                routing=cell.routing, ok=True,
                 summary=summary, delivered=dict(result.delivered),
                 payments=dict(result.payments), chosen=dict(result.chosen),
                 loads=result.loads,
@@ -351,7 +384,8 @@ def run_cell(cell: SweepCell, options: RunOptions | None = None,
             _record_worker_stats(registry)
             return CellResult(
                 index=cell.index, scheme=cell.scheme.name,
-                scenario=cell.scenario.label, seed=cell.seed, ok=False,
+                scenario=cell.scenario.label, seed=cell.seed,
+                routing=cell.routing, ok=False,
                 error=type(exc).__name__, detail=str(exc),
                 traceback=traceback.format_exc(), worker=pid,
                 duration=time.perf_counter() - begin,
@@ -475,7 +509,8 @@ def _death_result(cell: SweepCell, exc: BaseException) -> CellResult:
     """Structured failure for a cell whose worker process died."""
     return CellResult(
         index=cell.index, scheme=cell.scheme.name,
-        scenario=cell.scenario.label, seed=cell.seed, ok=False,
+        scenario=cell.scenario.label, seed=cell.seed,
+        routing=cell.routing, ok=False,
         error=type(exc).__name__,
         detail=f"worker process died while running this cell: {exc}")
 

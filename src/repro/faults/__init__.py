@@ -1,12 +1,17 @@
 """Fault injection and graceful degradation (see DESIGN.md §"Failure
 model & degradation semantics").
 
-Two halves:
+Three pieces:
 
 - :mod:`~repro.faults.injector` — a deterministic, seeded
   :class:`FaultInjector` that raises LP exceptions at chosen
   (module, timestep) points, configured from a compact spec string
   (``PretiumConfig.faults`` / ``run --faults``);
+- :mod:`~repro.faults.links` — a :class:`LinkKillSchedule` of
+  scheduled link failures (``RunOptions.link_kills`` /
+  ``run --link-kills``), applied by the engine through
+  ``NetworkState.fail_link`` so dynamic routing policies re-route and
+  re-hash exactly as they would on a real outage;
 - :mod:`~repro.faults.resilience` — :func:`resilient_solve`, the
   retry-with-backoff + budget wrapper every SAM/PC solver call goes
   through, and the :class:`RetryPolicy` derived from the config.
@@ -22,12 +27,14 @@ complete (``RunResult.extras["failures"]``).
 from .injector import (KINDS, MODULES, FaultInjector, FaultRule,
                        FaultSpecError, get_injector, is_injected,
                        parse_fault_spec, set_injector, use_injector)
+from .links import LinkKill, LinkKillSchedule, parse_link_kills
 from .resilience import (MAX_BACKOFF, DeadlineBudget, QuoteBudgetExceeded,
                          RetryPolicy, resilient_solve)
 
 __all__ = [
     "DeadlineBudget", "FaultInjector", "FaultRule", "FaultSpecError",
-    "KINDS", "MAX_BACKOFF", "MODULES", "QuoteBudgetExceeded", "RetryPolicy",
-    "get_injector", "is_injected", "parse_fault_spec", "resilient_solve",
+    "KINDS", "LinkKill", "LinkKillSchedule", "MAX_BACKOFF", "MODULES",
+    "QuoteBudgetExceeded", "RetryPolicy", "get_injector", "is_injected",
+    "parse_fault_spec", "parse_link_kills", "resilient_solve",
     "set_injector", "use_injector",
 ]

@@ -3,13 +3,14 @@
 from .generators import (figure2_network, line_network,
                          parallel_paths_network, production_wan, small_wan,
                          wan_topology)
-from .paths import Path, PathCache, k_shortest_paths
+from .paths import (Path, PathCache, ROUTING_POLICIES, k_shortest_paths)
 from .regions import (DEFAULT_REGION_NAMES, is_inter_region,
                       link_is_inter_region, nodes_by_region, region_name)
 from .topology import Link, Topology
 
 __all__ = [
-    "DEFAULT_REGION_NAMES", "Link", "Path", "PathCache", "Topology",
+    "DEFAULT_REGION_NAMES", "Link", "Path", "PathCache",
+    "ROUTING_POLICIES", "Topology",
     "figure2_network", "is_inter_region", "k_shortest_paths",
     "line_network", "link_is_inter_region", "nodes_by_region",
     "parallel_paths_network", "production_wan", "region_name", "small_wan",

@@ -1,4 +1,4 @@
-"""Admissible routes.
+"""Admissible routes and routing policies.
 
 Each request can be served along a set of admissible paths ``R_i``
 (paper §3.1).  As in the production systems the paper builds on (SWAN, B4,
@@ -6,15 +6,36 @@ Tempus), we precompute a small number of shortest simple paths per
 datacenter pair and use those as the admissible set everywhere: the
 admission interface prices over them, and the schedule adjuster re-routes
 over them.
+
+How a request's admissible set is derived from the precomputed
+candidates is a *routing policy* (:data:`ROUTING_POLICIES`):
+
+- ``"kpaths"`` (the default, and the paper's setup): the full k-shortest
+  set, statically — path sets never change mid-run, so the pre-policy
+  pipeline is reproduced bit for bit;
+- ``"ecmp"``: only the minimum-hop candidates (the equal-cost subset a
+  classic ECMP dataplane would spread over);
+- ``"flowlet"``: hash-based spreading — each request (flowlet) is pinned
+  to one candidate chosen by a stable hash of (src, dst, rid, epoch), a
+  non-price load-balancing baseline.  A link failure bumps the epoch, so
+  every flowlet re-hashes onto the surviving candidates.
+
+``ecmp``/``flowlet`` also refresh their candidate sets dynamically on
+link failure (:meth:`PathCache.refresh`): candidates crossing a dead
+link are replaced by the next-shortest survivors.
 """
 
 from __future__ import annotations
 
+import zlib
 from itertools import islice
 
 import networkx as nx
 
 from .topology import Link, Topology
+
+#: Admissible-set derivation policies a :class:`PathCache` supports.
+ROUTING_POLICIES = ("kpaths", "ecmp", "flowlet")
 
 
 class Path:
@@ -92,28 +113,107 @@ def k_shortest_paths(topology: Topology, src: str, dst: str,
     return paths
 
 
+def _flowlet_hash(src: str, dst: str, rid: int, epoch: int) -> int:
+    """Stable (process- and run-independent) flowlet hash.
+
+    ``zlib.crc32`` rather than ``hash()``: Python string hashing is
+    salted per process, and flowlet pinning must be reproducible across
+    sweep workers and sessions.
+    """
+    return zlib.crc32(f"{src}|{dst}|{rid}|{epoch}".encode())
+
+
 class PathCache:
     """Memoised admissible-route sets per (src, dst) pair.
 
     The cache is shared by the admission interface, the schedule adjuster
     and every baseline so that all schemes optimise over the same route
-    sets (as in the paper's evaluation).
+    sets (as in the paper's evaluation).  ``policy`` selects how a
+    request's admissible set is derived from the k-shortest candidates
+    (see :data:`ROUTING_POLICIES`); the default ``"kpaths"`` reproduces
+    the pre-policy behaviour exactly.
     """
 
-    def __init__(self, topology: Topology, k: int = 3) -> None:
+    def __init__(self, topology: Topology, k: int = 3,
+                 policy: str = "kpaths") -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(f"unknown routing policy {policy!r}; expected "
+                             f"one of {list(ROUTING_POLICIES)}")
         self.topology = topology
         self.k = k
+        self.policy = policy
+        #: Re-hash generation: bumped by every :meth:`refresh`, folded
+        #: into the flowlet hash so failures re-spread every flowlet.
+        self.epoch = 0
         self._cache: dict[tuple[str, str], list[Path]] = {}
+        #: (src, dst) node pairs of links declared dead via refresh().
+        self._dead: set[tuple[str, str]] = set()
+        #: Post-failure candidate sets (dead links routed around).
+        self._live: dict[tuple[str, str], list[Path]] = {}
 
-    def routes(self, src: str, dst: str) -> list[Path]:
-        """Admissible routes for the pair, computing them on first use."""
+    def routes(self, src: str, dst: str, rid: int | None = None
+               ) -> list[Path]:
+        """Admissible routes for the pair under the cache's policy.
+
+        ``rid`` identifies the flowlet for ``policy="flowlet"`` — with a
+        request id the set narrows to the one hash-pinned candidate;
+        without one (pair-level queries: cache warming, involved-link
+        computation) the full candidate set is returned.  ``kpaths`` and
+        ``ecmp`` ignore ``rid`` entirely.
+        """
+        candidates = self._candidates(src, dst)
+        if self.policy == "ecmp" and candidates:
+            min_hops = min(path.hop_count for path in candidates)
+            return [path for path in candidates
+                    if path.hop_count == min_hops]
+        if self.policy == "flowlet" and candidates and rid is not None:
+            index = _flowlet_hash(src, dst, rid, self.epoch)
+            return [candidates[index % len(candidates)]]
+        return list(candidates)
+
+    def refresh(self, dead=()) -> None:
+        """Record failed links and rebuild the dynamic candidate sets.
+
+        ``dead`` is an iterable of (src, dst) node pairs of failed links.
+        ``kpaths`` is static by design — the paper's evaluation uses
+        fixed route sets, and the schedule adjuster already routes around
+        zero-capacity links — so this is a no-op there.  ``ecmp`` and
+        ``flowlet`` drop candidates crossing dead links (backfilling
+        with the next-shortest survivors) and bump the flowlet epoch so
+        every flowlet re-hashes.
+        """
+        if self.policy == "kpaths":
+            return
+        self._dead.update(tuple(pair) for pair in dead)
+        self._live.clear()
+        self.epoch += 1
+
+    def _candidates(self, src: str, dst: str) -> list[Path]:
+        """The pair's candidate list (dead links routed around)."""
         key = (src, dst)
         if key not in self._cache:
             self._cache[key] = k_shortest_paths(self.topology, src, dst,
                                                 self.k)
-        return list(self._cache[key])
+        if not self._dead:
+            return self._cache[key]
+        live = self._live.get(key)
+        if live is None:
+            extended = k_shortest_paths(self.topology, src, dst,
+                                        self.k + len(self._dead))
+            live = [path for path in extended
+                    if not self._crosses_dead(path)][:self.k]
+            # Fully disconnected pair: keep the static set so quoting
+            # still sees routes (their capacity is ~0, so nothing is
+            # actually scheduled over them).
+            self._live[key] = live or self._cache[key]
+            live = self._live[key]
+        return live
+
+    def _crosses_dead(self, path: Path) -> bool:
+        return any((link.src, link.dst) in self._dead
+                   for link in path.links)
 
     def warm(self, pairs) -> None:
         """Precompute routes for an iterable of (src, dst) pairs."""

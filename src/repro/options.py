@@ -37,7 +37,7 @@ from pathlib import Path
 
 #: RunOptions fields that map onto PretiumConfig attributes of the same
 #: name (applied via ``config_overrides`` when a scheme is built).
-CONFIG_FIELDS = ("lp_builder", "quote_path", "solver_backend",
+CONFIG_FIELDS = ("lp_builder", "quote_path", "routing", "solver_backend",
                  "sam_skeleton_cache", "sam_fast_path", "solver_retries",
                  "solver_backoff", "solver_time_limit", "solver_maxiter")
 
@@ -53,6 +53,18 @@ class RunOptions:
         to the offline schemes' ``builder`` kwarg.
     quote_path:
         RA quote implementation override (``"heap"``/``"scan"``).
+    routing:
+        Routing-policy override (``"kpaths"``/``"ecmp"``/``"flowlet"``,
+        see :data:`repro.network.ROUTING_POLICIES`); maps onto
+        ``PretiumConfig.routing`` for online schemes and the ``routing``
+        kwarg of the offline schemes.
+    classes:
+        Traffic-class spec for workload synthesis: ``None`` (single
+        class), a mix name (e.g. ``"qos3"``), a
+        :class:`~repro.traffic.classes.ClassMix` or a tuple of
+        :class:`~repro.traffic.classes.TrafficClass`.  Applied when a
+        scenario is built by name through :mod:`repro.api`; scenarios
+        that already declare classes keep their own.
     solver_backend:
         LP backend override (``"scipy"``/``"highs"``/``"auto"``; see
         :class:`~repro.core.config.PretiumConfig.solver_backend`).
@@ -68,6 +80,12 @@ class RunOptions:
         :func:`repro.faults.parse_fault_spec`); ``None`` disables it.
     fault_seed:
         Seed for probabilistic fault rules.
+    link_kills:
+        Scheduled link-failure spec (see
+        :func:`repro.faults.parse_link_kills`, e.g. ``"S>M1@3"``).
+        Applied by the online simulation engine at the start of each
+        kill's step; offline baselines ignore it (they solve against
+        the capacity grid they are given).  ``None`` disables it.
     telemetry:
         JSONL trace path; when set the run executes under a fresh
         tracer + metrics registry writing to this file.
@@ -91,6 +109,8 @@ class RunOptions:
 
     lp_builder: str | None = None
     quote_path: str | None = None
+    routing: str | None = None
+    classes: object = None
     solver_backend: str | None = None
     sam_skeleton_cache: bool | None = None
     sam_fast_path: bool | None = None
@@ -100,6 +120,7 @@ class RunOptions:
     solver_maxiter: int | None = None
     faults: str | None = None
     fault_seed: int = 0
+    link_kills: str | None = None
     telemetry: str | Path | None = None
     trace_tags: tuple[tuple[str, object], ...] = ()
     workers: int = 1
@@ -111,6 +132,17 @@ class RunOptions:
             raise ValueError(f"unknown lp_builder {self.lp_builder!r}")
         if self.quote_path not in (None, "heap", "scan"):
             raise ValueError(f"unknown quote_path {self.quote_path!r}")
+        if self.routing is not None:
+            from .network.paths import ROUTING_POLICIES
+            if self.routing not in ROUTING_POLICIES:
+                raise ValueError(
+                    f"unknown routing {self.routing!r}; expected one of "
+                    f"{list(ROUTING_POLICIES)}")
+        if self.classes is not None:
+            # Validate eagerly (and normalise nothing: the spec is kept
+            # verbatim so the bundle stays hashable/picklable).
+            from .traffic.classes import resolve_classes
+            resolve_classes(self.classes)
         if self.solver_backend not in (None, "scipy", "highs", "auto"):
             raise ValueError(
                 f"unknown solver_backend {self.solver_backend!r}")
@@ -136,6 +168,9 @@ class RunOptions:
             # as PretiumConfig's eager spec validation).
             from .faults.injector import parse_fault_spec
             parse_fault_spec(self.faults)
+        if self.link_kills is not None:
+            from .faults.links import parse_link_kills
+            parse_link_kills(self.link_kills)
 
     # -- derived views -------------------------------------------------------
     def config_overrides(self) -> dict:
@@ -252,9 +287,11 @@ def coerce_options(options: RunOptions | None, legacy: dict,
     if unknown:
         raise TypeError(f"{where} got unexpected keyword argument(s) "
                         f"{', '.join(map(repr, unknown))}")
+    replacement = ", ".join(f"{name}={value!r}"
+                            for name, value in sorted(legacy.items()))
     warnings.warn(
         f"passing flat keyword options to {where} is deprecated; "
-        f"pass options=RunOptions({', '.join(sorted(legacy))}=...) instead",
+        f"pass options=RunOptions({replacement}) instead",
         DeprecationWarning, stacklevel=3)
     base = options if options is not None else RunOptions()
     return dataclasses.replace(base, **legacy)

@@ -62,9 +62,28 @@ class MenuCache:
         return (request.src, request.dst, max(request.start, now),
                 request.deadline, request.demand)
 
+    def _key(self, request, now: int) -> tuple:
+        """The static identity plus routing-policy discriminators.
+
+        Dynamic policies change a pair's admissible set out from under
+        the link-version clock: a flowlet menu depends on the request id
+        (the hash pins per-rid paths) and on the re-hash epoch, and both
+        flowlet and ecmp candidate sets can change when a refresh bumps
+        the epoch.  Folding those into the key means entries from an
+        older epoch simply never hit again (and age out LRU-first).
+        """
+        base = self.key(request, now)
+        paths = self.state.paths
+        if paths.policy == "flowlet":
+            return base + (request.rid, paths.epoch)
+        if paths.policy == "ecmp":
+            return base + (paths.epoch,)
+        return base
+
     def _involved_links(self, request) -> np.ndarray:
         """Indices of every link any route for (src, dst) can touch."""
-        routes = self.state.paths.routes(request.src, request.dst)
+        routes = self.state.paths.routes(request.src, request.dst,
+                                         rid=request.rid)
         return np.fromiter(
             sorted({index for path in routes
                     for index in path.link_indices()}),
@@ -76,7 +95,7 @@ class MenuCache:
         if self.state is None:
             raise RuntimeError("menu cache is not bound to a NetworkState")
         registry = get_registry()
-        entry = self._entries.get(self.key(request, now))
+        entry = self._entries.get(self._key(request, now))
         if entry is None:
             registry.counter("service.menu_cache.misses").inc()
             return None
@@ -87,10 +106,10 @@ class MenuCache:
             # is dead, never served stale.
             registry.counter("service.menu_cache.invalidations").inc()
             registry.counter("service.menu_cache.misses").inc()
-            del self._entries[self.key(request, now)]
+            del self._entries[self._key(request, now)]
             return None
         registry.counter("service.menu_cache.hits").inc()
-        self._entries.move_to_end(self.key(request, now))
+        self._entries.move_to_end(self._key(request, now))
         return menu
 
     def put(self, request, now: int, menu) -> None:
@@ -99,8 +118,8 @@ class MenuCache:
             raise RuntimeError("menu cache is not bound to a NetworkState")
         links = self._involved_links(request)
         versions = self.state.link_versions[links].copy()
-        self._entries[self.key(request, now)] = (links, versions, menu)
-        self._entries.move_to_end(self.key(request, now))
+        self._entries[self._key(request, now)] = (links, versions, menu)
+        self._entries.move_to_end(self._key(request, now))
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             get_registry().counter("service.menu_cache.evictions").inc()

@@ -133,13 +133,18 @@ def simulate(scheme, workload: Workload,
     options are deprecated but still accepted.
     """
     options = coerce_options(options, legacy, "simulate()")
+    link_kills = None
+    if options is not None and options.link_kills is not None:
+        from ..faults.links import LinkKillSchedule
+        link_kills = LinkKillSchedule.from_spec(options.link_kills)
     if options is not None:
         with run_context(options):
-            return _simulate(scheme, workload)
-    return _simulate(scheme, workload)
+            return _simulate(scheme, workload, link_kills)
+    return _simulate(scheme, workload, link_kills)
 
 
-def _simulate(scheme, workload: Workload) -> RunResult:
+def _simulate(scheme, workload: Workload,
+              link_kills=None) -> RunResult:
     scheme_name = getattr(scheme, "name", type(scheme).__name__)
     tracer = get_tracer()
     scheme.begin(workload)
@@ -163,6 +168,12 @@ def _simulate(scheme, workload: Workload) -> RunResult:
 
     failures: list[FailureEvent] = []
 
+    #: name -> TrafficClass for the workload's declared classes; lets
+    #: ARRIVED events carry the preemptible flag the auditor waives
+    #: soft-guarantee misses on.
+    class_table = {cls.name: cls
+                   for cls in getattr(workload, "classes", ())}
+
     if tracer.enabled:
         # The ground truth the invariant auditor replays against: the
         # usable-capacity grid as of run start (faults only lower it, so
@@ -175,6 +186,15 @@ def _simulate(scheme, workload: Workload) -> RunResult:
     with tracer.span("run", scheme=scheme_name, n_steps=workload.n_steps,
                      n_requests=workload.n_requests) as run_span:
         for t in range(workload.n_steps):
+            if link_kills is not None and state is not None:
+                # Scheduled outages land before PC/RA/SAM see the step,
+                # so this step's decisions already face the dead link
+                # (and dynamic routing policies have re-hashed).
+                for kill in link_kills.apply(state, t):
+                    if tracer.enabled:
+                        ledger.record("LINK_KILLED", step=t,
+                                      src=kill.src, dst=kill.dst,
+                                      end=kill.end)
             # LP errors are caught at every module boundary: a scheme
             # without its own resilience layer loses that one call
             # (stale prices / unadmitted arrival / idle step) but the
@@ -204,7 +224,12 @@ def _simulate(scheme, workload: Workload) -> RunResult:
                                   value=float(request.value),
                                   start=int(request.start),
                                   deadline=int(request.deadline),
-                                  scavenger=bool(request.scavenger))
+                                  scavenger=bool(request.scavenger),
+                                  cls=(cls_name := str(getattr(
+                                      request, "cls", "default"))),
+                                  preemptible=bool(getattr(
+                                      class_table.get(cls_name),
+                                      "preemptible", False)))
                 with tracer.span("ra", step=t, rid=request.rid) as span:
                     try:
                         scheme.arrival(request, t)

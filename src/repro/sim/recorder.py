@@ -39,10 +39,48 @@ def summarize(result: RunResult, cost_model: LinkCostModel) -> dict:
     }
     if runtimes is not None and hasattr(runtimes, "summary"):
         record["runtimes"] = runtimes.summary()
+    per_class = _per_class_summary(result)
+    if per_class is not None:
+        record["per_class"] = per_class
     degradation = _degradation_summary(result)
     if degradation is not None:
         record.update(degradation)
     return record
+
+
+def _per_class_summary(result: RunResult) -> dict | None:
+    """Per-traffic-class delivery and economics, or ``None`` when the
+    workload is single-class (keeps pre-multi-class summaries
+    byte-identical).
+
+    ``value`` is the realised value of delivered bytes (each request's
+    per-unit value times its delivered volume, capped at demand), the
+    same accounting :func:`repro.sim.metrics.total_value` uses
+    run-wide — the class records sum exactly to ``total_value``.
+    """
+    classes = getattr(result.workload, "classes", ())
+    if not classes:
+        return None
+    out: dict[str, dict] = {
+        cls.name: {"n_requests": 0, "demand": 0.0, "delivered": 0.0,
+                   "value": 0.0, "payments": 0.0}
+        for cls in classes}
+    for request in result.workload.requests:
+        record = out.setdefault(
+            getattr(request, "cls", "default"),
+            {"n_requests": 0, "demand": 0.0, "delivered": 0.0,
+             "value": 0.0, "payments": 0.0})
+        volume = result.delivered.get(request.rid, 0.0)
+        record["n_requests"] += 1
+        record["demand"] += float(request.demand)
+        record["delivered"] += float(volume)
+        record["value"] += float(request.value
+                                 * min(volume, request.demand))
+        record["payments"] += float(result.payments.get(request.rid, 0.0))
+    for record in out.values():
+        record["completion"] = (record["delivered"] / record["demand"]
+                                if record["demand"] > 0 else 0.0)
+    return out
 
 
 def _degradation_summary(result: RunResult) -> dict | None:

@@ -56,6 +56,9 @@ class Finding:
     #: Sweep grid-cell id for findings from a merged multi-run trace
     #: (``None`` for single-run traces).
     cell: int | None = None
+    #: Traffic class of the offending request (from its ARRIVED record;
+    #: ``None`` for pre-class traces or run-level findings).
+    cls: str | None = None
 
 
 def audit_trace(path: str | Path, summary: dict | None = None
@@ -100,6 +103,7 @@ def _audit_run(events: list[dict], summary: dict | None) -> list[Finding]:
     findings += _check_byte_conservation(ledger)
     for history in ledger.requests():
         findings += _check_request(history, ledger)
+    findings += _check_class_conservation(ledger, summary)
     findings += _check_reconciliation(ledger, summary)
     return findings
 
@@ -240,7 +244,30 @@ def _check_guarantee(history: RequestHistory, ledger: Ledger
         "guarantee", f"guaranteed {guaranteed:.6f} bytes by step "
         f"{deadline} but only {delivered:.6f} arrived",
         rid=history.rid, step=deadline,
-        waived=_guarantee_waived(history, ledger))]
+        waived=_guarantee_waived(history, ledger)
+        or _history_preemptible(history),
+        cls=_history_cls(history))]
+
+
+def _history_cls(history: RequestHistory) -> str | None:
+    """The request's traffic class per its ARRIVED record, if tagged."""
+    arrived = history.arrived
+    if arrived is None or "cls" not in arrived:
+        return None
+    return str(arrived["cls"])
+
+
+def _history_preemptible(history: RequestHistory) -> bool:
+    """Whether the request belongs to a preemptible traffic class.
+
+    Preemptible classes' guarantees are *soft* by contract — the
+    schedule adjuster may displace them for higher-weighted traffic
+    (see :class:`repro.traffic.classes.TrafficClass`) — so a missed
+    guarantee is reported but waived, exactly like degradation-excused
+    misses.
+    """
+    arrived = history.arrived
+    return bool(arrived is not None and arrived.get("preemptible"))
 
 
 def _guarantee_waived(history: RequestHistory, ledger: Ledger) -> bool:
@@ -334,6 +361,54 @@ def _menu_price(breakpoints: list, x: float) -> float:
         if x <= float(cumulative):
             break
     return total
+
+
+# -- per-class conservation ---------------------------------------------------
+def _check_class_conservation(ledger: Ledger, summary: dict | None
+                              ) -> list[Finding]:
+    """Class-level byte conservation over the run.
+
+    For every traffic class tagged in the ledger's ARRIVED records:
+
+    - bytes allocated to the class's requests never exceed the volume
+      those requests purchased (the class-aggregate of the per-request
+      allocation invariant — a mis-tagged or double-counted allocation
+      shows up here even when each request individually balances);
+    - with a :func:`~repro.sim.recorder.summarize` record carrying a
+      ``per_class`` roll-up, each class's summary ``delivered`` must
+      replay from the ledger.
+
+    Pre-class traces (no ``cls`` on ARRIVED) are skipped entirely, so
+    old traces audit exactly as before.
+    """
+    allocated: dict[str, float] = {}
+    purchased: dict[str, float] = {}
+    tagged = False
+    for history in ledger.requests():
+        cls = _history_cls(history)
+        if cls is None:
+            continue
+        tagged = True
+        allocated[cls] = allocated.get(cls, 0.0) + history.delivered_total
+        if history.chosen is not None:
+            purchased[cls] = purchased.get(cls, 0.0) + float(history.chosen)
+    if not tagged:
+        return []
+    findings = []
+    for cls in sorted(allocated):
+        bytes_in = allocated[cls]
+        bound = purchased.get(cls, 0.0)
+        if bytes_in > bound * (1.0 + REL_TOL) + ABS_TOL:
+            findings.append(Finding(
+                "class_conservation",
+                f"class {cls!r} received {bytes_in:.6f} bytes but its "
+                f"requests purchased only {bound:.6f}", cls=cls))
+    per_class = (summary or {}).get("per_class") or {}
+    for cls in sorted(per_class):
+        findings += [replace(f, cls=cls) for f in _compare(
+            "class_conservation", f"summary per_class[{cls}] delivered",
+            float(per_class[cls]["delivered"]), allocated.get(cls, 0.0))]
+    return findings
 
 
 # -- run-level reconciliation ------------------------------------------------

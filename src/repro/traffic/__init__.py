@@ -1,5 +1,7 @@
 """Traffic substrate: diurnal profiles, TM series, request synthesis."""
 
+from .classes import (CLASS_MIXES, ClassMix, DEFAULT_CLASS, TrafficClass,
+                      resolve_classes)
 from .diurnal import DiurnalProfile, flat_profile, region_profiles
 from .matrices import (FlashCrowd, TrafficMatrixSeries, gravity_weights,
                        synthesize_tm_series)
@@ -15,6 +17,8 @@ from .values import (VALUE_FLOOR, ExponentialValues, FixedValues,
 from .workload import Workload, build_workload, calibrate_tm
 
 __all__ = [
+    "CLASS_MIXES", "ClassMix", "DEFAULT_CLASS", "TrafficClass",
+    "resolve_classes",
     "DiurnalProfile", "ExponentialValues", "FixedValues", "FlashCrowd",
     "NormalValues", "ParetoValues", "RequestParameters",
     "TrafficMatrixSeries", "UniformValues", "VALUE_FLOOR",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.request import ByteRequest
+from .classes import ClassMix, resolve_classes
 from .matrices import TrafficMatrixSeries
 from .values import ValueDistribution
 
@@ -63,7 +64,8 @@ def synthesize_requests(series: TrafficMatrixSeries,
                         params: RequestParameters | None = None,
                         max_requests_per_pair: int = 200,
                         seed: int = 0,
-                        first_rid: int = 0) -> list[ByteRequest]:
+                        first_rid: int = 0,
+                        classes=None) -> list[ByteRequest]:
     """Generate byte requests that mimic ``series``.
 
     For every ordered pair, requests are drawn until their cumulative
@@ -72,9 +74,20 @@ def synthesize_requests(series: TrafficMatrixSeries,
     profile; each request's window starts at its arrival and extends by a
     lognormal duration, truncated at the horizon.
 
+    ``classes`` (``None``, a mix name, a :class:`~repro.traffic.classes.
+    ClassMix`, or an iterable of :class:`TrafficClass`) assigns a traffic
+    class per request — drawn *after* the base size/arrival/duration/value
+    samples, so the underlying stream is shared across mixes.  The class
+    then modulates the request: value scales by ``value_multiplier`` and
+    the window length by ``deadline_stretch``.  ``None`` and single-class
+    mixes consume no extra randomness, so a ``(DEFAULT_CLASS,)`` workload
+    is bit-identical to a class-free one.
+
     Returns requests sorted by (arrival, rid).
     """
     params = params or RequestParameters()
+    resolved = resolve_classes(classes)
+    mix = None if resolved is None else ClassMix(resolved)
     rng = np.random.default_rng(seed)
     horizon = series.n_steps
     requests: list[ByteRequest] = []
@@ -103,9 +116,19 @@ def synthesize_requests(series: TrafficMatrixSeries,
                     rng, params.mean_duration, params.duration_sigma, 1)[0])))
                 deadline = min(horizon - 1, arrival + duration - 1)
                 value = values.sample_one(rng)
+                cls_name = "default"
+                if mix is not None:
+                    cls = mix.assign(rng)
+                    cls_name = cls.name
+                    value *= cls.value_multiplier
+                    if cls.deadline_stretch != 1.0:
+                        duration = max(1, int(round(
+                            duration * cls.deadline_stretch)))
+                        deadline = min(horizon - 1, arrival + duration - 1)
                 requests.append(ByteRequest(
                     rid=rid, src=src, dst=dst, demand=size, arrival=arrival,
-                    start=arrival, deadline=deadline, value=value))
+                    start=arrival, deadline=deadline, value=value,
+                    cls=cls_name))
                 rid += 1
                 n_drawn += 1
                 remaining -= size

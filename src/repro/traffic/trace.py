@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.request import ByteRequest
 from ..network import Topology
+from .classes import TrafficClass
 from .matrices import TrafficMatrixSeries
 from .workload import Workload
 
@@ -75,10 +76,18 @@ def workload_to_dict(workload: Workload) -> dict:
         "steps_per_day": workload.steps_per_day,
         "load_factor": workload.load_factor,
         "description": workload.description,
+        "classes": [{"name": c.name,
+                     "value_multiplier": c.value_multiplier,
+                     "deadline_stretch": c.deadline_stretch,
+                     "price_multiplier": c.price_multiplier,
+                     "preemptible": c.preemptible,
+                     "weight": c.weight, "share": c.share}
+                    for c in workload.classes],
         "requests": [{"rid": r.rid, "src": r.src, "dst": r.dst,
                       "demand": r.demand, "arrival": r.arrival,
                       "start": r.start, "deadline": r.deadline,
-                      "value": r.value, "scavenger": r.scavenger}
+                      "value": r.value, "scavenger": r.scavenger,
+                      "cls": r.cls}
                      for r in workload.requests],
     }
 
@@ -91,13 +100,17 @@ def workload_from_dict(payload: dict) -> Workload:
                             demand=r["demand"], arrival=r["arrival"],
                             start=r["start"], deadline=r["deadline"],
                             value=r["value"],
-                            scavenger=r.get("scavenger", False))
+                            scavenger=r.get("scavenger", False),
+                            cls=r.get("cls", "default"))
                 for r in payload["requests"]]
+    classes = tuple(TrafficClass(**entry)
+                    for entry in payload.get("classes", ()))
     return Workload(topology=topology, requests=requests,
                     n_steps=payload["n_steps"],
                     steps_per_day=payload["steps_per_day"],
                     load_factor=payload.get("load_factor", 1.0),
-                    description=payload.get("description", "workload"))
+                    description=payload.get("description", "workload"),
+                    classes=classes)
 
 
 def save_workload(workload: Workload, path: str | Path) -> None:

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.request import ByteRequest
 from ..network import Topology
+from .classes import TrafficClass, resolve_classes
 from .matrices import TrafficMatrixSeries, synthesize_tm_series
 from .requests import RequestParameters, synthesize_requests
 from .routing import route_series_on_shortest_paths
@@ -41,6 +42,11 @@ class Workload:
         The multiplier that was applied to the calibrated traffic matrix.
     description:
         Free-form label for experiment reports.
+    classes:
+        Traffic classes the requests were synthesized with (empty for
+        the single-class pre-class pipeline).  Schedulers resolve each
+        request's ``cls`` name against this table; ``()`` means every
+        request is the neutral default class.
     """
 
     topology: Topology
@@ -49,13 +55,19 @@ class Workload:
     steps_per_day: int
     load_factor: float = 1.0
     description: str = "workload"
+    classes: tuple[TrafficClass, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_steps <= 0:
             raise ValueError("n_steps must be positive")
+        known = {cls.name for cls in self.classes} | {"default"}
         for req in self.requests:
             if req.deadline >= self.n_steps:
                 raise ValueError(f"request {req.rid} deadline beyond horizon")
+            if getattr(req, "cls", "default") not in known:
+                raise ValueError(f"request {req.rid} has unknown traffic "
+                                 f"class {req.cls!r}; workload declares "
+                                 f"{sorted(known)}")
 
     @property
     def n_requests(self) -> int:
@@ -103,14 +115,18 @@ def build_workload(topology: Topology,
                    flash_crowd_rate: float = 0.02,
                    max_requests_per_pair: int = 200,
                    seed: int = 0,
-                   description: str | None = None) -> Workload:
+                   description: str | None = None,
+                   classes=None) -> Workload:
     """Build a calibrated workload on ``topology``.
 
     The traffic-matrix series is synthesized, calibrated to the target
     utilisation, scaled by ``load_factor``, and converted to byte requests
     (sizes/durations from ``request_params``, values from ``values``;
     defaults follow the paper's Figure 6 setup of normal values with
-    sigma < mean).
+    sigma < mean).  ``classes`` (``None``, a mix name like ``"qos3"``, a
+    :class:`~repro.traffic.classes.ClassMix`, or an iterable of
+    :class:`~repro.traffic.classes.TrafficClass`) turns on multi-class
+    synthesis; the resolved classes ride on ``Workload.classes``.
     """
     if n_days <= 0:
         raise ValueError("n_days must be positive")
@@ -137,12 +153,15 @@ def build_workload(topology: Topology,
         params = RequestParameters(mean_size=max(0.5, per_pair / 8.0),
                                    min_size=max(0.05, per_pair / 200.0))
 
+    resolved = resolve_classes(classes)
     requests = synthesize_requests(
         series, values, params=params,
-        max_requests_per_pair=max_requests_per_pair, seed=seed + 1)
+        max_requests_per_pair=max_requests_per_pair, seed=seed + 1,
+        classes=resolved)
 
     return Workload(
         topology=topology, requests=requests, n_steps=n_steps,
         steps_per_day=steps_per_day, load_factor=load_factor,
         description=description or
-        f"wan load={load_factor:g} values={values.name}")
+        f"wan load={load_factor:g} values={values.name}",
+        classes=resolved or ())

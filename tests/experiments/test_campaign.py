@@ -177,9 +177,14 @@ def test_failed_cells_surface_in_report_and_ok_flag(tmp_path):
 
 def test_smoke_preset_runs_end_to_end(tmp_path):
     result = run_campaign(campaign_spec("smoke"), tmp_path)
-    assert result.ok and result.n_cells == 2
+    # 2 tiny cells plus the multiclass/flowlet cell.
+    assert result.ok and result.n_cells == 3
     assert (tmp_path / "report.md").exists()
     assert (tmp_path / "main.jsonl").exists()  # preset asks for telemetry
+    assert (tmp_path / "multiclass.jsonl").exists()
+    # The per-class figure picked up the multi-class cell's roll-up.
+    per_class = result.figures["classes"]
+    assert per_class["columns"][2] == "class"
 
 
 def test_campaign_reports_fleet_metrics_and_slo(tmp_path):

@@ -1,0 +1,84 @@
+"""Differential guarantees for the traffic-class / routing-policy layer.
+
+The multi-class API is opt-in: a workload synthesized with a single
+neutral class and the default ``kpaths`` routing policy must be
+*bit-identical* to the pre-class pipeline — same request stream, and
+for every registered scheme the same deliveries, payments and loads.
+Exact ``==`` on floats is deliberate: both runs must take the same code
+path, not merely agree numerically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_scheme
+from repro.experiments.scenarios import tiny_scenario
+from repro.options import RunOptions
+from repro.registry import SCHEMES
+from repro.sim import summarize
+from repro.traffic.classes import DEFAULT_CLASS
+
+ALL_SCHEMES = SCHEMES.names()
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    """The same tiny world, classless and single-default-class."""
+    return tiny_scenario(seed=0), tiny_scenario(seed=0, classes="default")
+
+
+def test_single_default_class_workload_is_bit_identical(worlds):
+    base, single = worlds
+    assert base.workload.classes == ()
+    assert single.workload.classes == (DEFAULT_CLASS,)
+    assert len(base.workload.requests) == len(single.workload.requests)
+    for a, b in zip(base.workload.requests, single.workload.requests):
+        assert (a.rid, a.src, a.dst, a.arrival, a.start, a.deadline) == \
+            (b.rid, b.src, b.dst, b.arrival, b.start, b.deadline)
+        assert a.demand == b.demand and a.value == b.value
+        assert a.scavenger == b.scavenger
+        assert a.cls == "default" and b.cls == "default"
+
+
+@pytest.mark.parametrize("name", ALL_SCHEMES)
+def test_every_scheme_is_bit_identical_single_class_kpaths(worlds, name):
+    base, single = worlds
+    plain = run_scheme(name, base)
+    classed = run_scheme(name, single,
+                         options=RunOptions(routing="kpaths"))
+    assert classed.delivered == plain.delivered
+    assert classed.payments == plain.payments
+    assert classed.chosen == plain.chosen
+    assert np.array_equal(classed.loads, plain.loads)
+
+
+def test_single_class_summary_adds_only_the_per_class_key(worlds):
+    base, single = worlds
+    plain = summarize(run_scheme("Pretium", base), base.cost_model)
+    classed = summarize(run_scheme("Pretium", single),
+                        single.cost_model)
+    per_class = classed.pop("per_class")
+    # Wall-clock module runtimes are the one nondeterministic field.
+    classed.pop("runtimes", None)
+    plain.pop("runtimes", None)
+    assert classed == plain
+    # ... and the one neutral class accounts for the whole run.
+    assert set(per_class) == {"default"}
+    # approx: the roll-up sums per request, the headline sums the
+    # delivered dict — same values, different summation order.
+    assert per_class["default"]["delivered"] == \
+        pytest.approx(plain["delivered"], rel=1e-12)
+    assert per_class["default"]["payments"] == \
+        pytest.approx(plain["payments"], rel=1e-12)
+
+
+def test_multiclass_run_actually_differs():
+    """Guard against the classes knob silently doing nothing."""
+    neutral = tiny_scenario(seed=0)
+    classed = tiny_scenario(seed=0, classes="qos3")
+    assert {r.cls for r in classed.workload.requests} > {"default"} \
+        or len({r.cls for r in classed.workload.requests}) > 1
+    plain = run_scheme("Pretium", neutral)
+    mixed = run_scheme("Pretium", classed)
+    assert mixed.delivered != plain.delivered \
+        or mixed.payments != plain.payments

@@ -147,3 +147,30 @@ def test_options_lp_builder_reaches_offline_schemes(scenario):
     expr = run_scheme("OPT", scenario,
                       options=RunOptions(lp_builder="expr"))
     assert coo.delivered == pytest.approx(expr.delivered)
+
+
+def test_invalid_routing_classes_and_kills_rejected_eagerly():
+    with pytest.raises(ValueError, match="unknown routing"):
+        RunOptions(routing="spray")
+    with pytest.raises(ValueError, match="unknown class mix"):
+        RunOptions(classes="qos99")
+    with pytest.raises(ValueError):
+        RunOptions(link_kills="garbage")
+    # The happy spellings validate without touching process state.
+    options = RunOptions(routing="flowlet", classes="qos3",
+                         link_kills="a>b@1")
+    assert options.config_overrides()["routing"] == "flowlet"
+    assert "classes" not in options.config_overrides()
+    assert "link_kills" not in options.config_overrides()
+
+
+def test_coerce_options_warning_spells_out_the_replacement():
+    """The deprecation message must hand back copy-pasteable code."""
+    with pytest.warns(DeprecationWarning) as caught:
+        coerce_options(None, {"workers": 2, "faults": "pc:timeout@1"},
+                       "simulate()")
+    (message,) = {str(w.message) for w in caught}
+    assert "pass options=RunOptions(faults='pc:timeout@1', workers=2) " \
+        "instead" in message
+    assert message.startswith(
+        "passing flat keyword options to simulate() is deprecated")

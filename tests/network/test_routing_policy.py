@@ -1,0 +1,126 @@
+"""Tests for the routing-policy layer of :class:`PathCache`.
+
+``kpaths`` must reproduce the pre-policy behaviour exactly (static full
+candidate sets, refresh a no-op); ``ecmp`` narrows to the equal-cost
+min-hop subset; ``flowlet`` pins each request to one hash-chosen
+candidate and re-hashes when a refresh bumps the epoch.
+"""
+
+import zlib
+
+import pytest
+
+from repro.network import Topology
+from repro.network.paths import (PathCache, ROUTING_POLICIES,
+                                 _flowlet_hash, k_shortest_paths)
+
+
+def diamond() -> Topology:
+    """S -> T via a 1-hop edge, a 2-hop detour and a 3-hop detour."""
+    topology = Topology(name="diamond")
+    topology.add_link("S", "T", 10.0)
+    topology.add_link("S", "A", 10.0)
+    topology.add_link("A", "T", 10.0)
+    topology.add_link("S", "B", 10.0)
+    topology.add_link("B", "C", 10.0)
+    topology.add_link("C", "T", 10.0)
+    return topology
+
+
+def test_policy_table_and_validation():
+    assert ROUTING_POLICIES == ("kpaths", "ecmp", "flowlet")
+    with pytest.raises(ValueError, match="unknown routing policy"):
+        PathCache(diamond(), policy="spray")
+
+
+def test_kpaths_returns_the_full_candidate_set():
+    cache = PathCache(diamond(), k=3)
+    routes = cache.routes("S", "T")
+    assert [path.hop_count for path in routes] == [1, 2, 3]
+    # rid is irrelevant under kpaths.
+    assert cache.routes("S", "T", rid=42) == routes
+
+
+def test_ecmp_narrows_to_min_hop_candidates():
+    topology = diamond()
+    # A second 1-hop S->T edge would be a parallel link; instead check
+    # the min-hop subset on a pair with several equal-cost options.
+    topology.add_link("S", "D", 10.0)
+    topology.add_link("D", "T", 10.0)
+    cache = PathCache(topology, k=4, policy="ecmp")
+    routes = cache.routes("S", "T")
+    assert [path.hop_count for path in routes] == [1]
+    via = cache.routes("S", "C")
+    assert all(path.hop_count == min(p.hop_count for p in via)
+               for path in via)
+
+
+def test_flowlet_pins_one_candidate_per_request():
+    cache = PathCache(diamond(), k=3, policy="flowlet")
+    candidates = k_shortest_paths(diamond(), "S", "T", 3)
+    for rid in range(20):
+        pinned = cache.routes("S", "T", rid=rid)
+        assert len(pinned) == 1
+        expected = _flowlet_hash("S", "T", rid, 0) % len(candidates)
+        assert pinned[0] == candidates[expected]
+    # Pair-level queries (no rid) still see the full candidate set.
+    assert len(cache.routes("S", "T")) == 3
+
+
+def test_flowlet_hash_is_crc32_stable_across_processes():
+    # Pinning must not depend on Python's per-process string-hash salt.
+    assert _flowlet_hash("S", "T", 7, 0) == \
+        zlib.crc32(b"S|T|7|0")
+    assert _flowlet_hash("S", "T", 7, 1) != _flowlet_hash("S", "T", 7, 0)
+
+
+def test_kpaths_refresh_is_a_noop():
+    cache = PathCache(diamond(), k=3)
+    before = cache.routes("S", "T")
+    cache.refresh(dead=(("S", "T"),))
+    assert cache.epoch == 0
+    assert cache.routes("S", "T") == before
+
+
+def test_dynamic_policies_route_around_dead_links():
+    cache = PathCache(diamond(), k=2, policy="ecmp")
+    assert [p.hop_count for p in cache.routes("S", "T")] == [1]
+    cache.refresh(dead=(("S", "T"),))
+    assert cache.epoch == 1
+    survivors = cache.routes("S", "T")
+    assert survivors and all(
+        ("S", "T") not in [(link.src, link.dst) for link in path.links]
+        for path in survivors)
+    # The min-hop subset re-forms over the survivors (2-hop detour).
+    assert [p.hop_count for p in survivors] == [2]
+
+
+def test_flowlet_rehashes_on_refresh():
+    cache = PathCache(diamond(), k=3, policy="flowlet")
+    before = {rid: cache.routes("S", "T", rid=rid)[0]
+              for rid in range(40)}
+    cache.refresh(dead=(("S", "A"),))
+    assert cache.epoch == 1
+    after = {rid: cache.routes("S", "T", rid=rid)[0] for rid in range(40)}
+    # No surviving candidate crosses the dead link ...
+    for path in after.values():
+        assert ("S", "A") not in [(link.src, link.dst)
+                                  for link in path.links]
+    # ... and the epoch bump re-spread the flowlets (some rid whose old
+    # pin survived still moved, because the hash input changed).
+    moved = [rid for rid in before
+             if before[rid] != after[rid]
+             and ("S", "A") not in [(link.src, link.dst)
+                                    for link in before[rid].links]]
+    assert moved, "epoch bump should re-hash surviving flowlets too"
+
+
+def test_fully_disconnected_pair_keeps_static_routes():
+    topology = Topology(name="line")
+    topology.add_link("S", "T", 10.0)
+    cache = PathCache(topology, k=2, policy="flowlet")
+    static = cache.routes("S", "T")
+    cache.refresh(dead=(("S", "T"),))
+    # Quoting still sees the (zero-capacity) static set rather than an
+    # empty admissible set.
+    assert cache.routes("S", "T") == static

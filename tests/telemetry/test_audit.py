@@ -265,3 +265,81 @@ def test_untagged_trace_keeps_single_run_semantics_and_no_cell():
     findings = audit_events(bad)
     assert findings
     assert all(f.cell is None for f in findings)
+
+
+# -- per-class conservation --------------------------------------------------
+def classed_run_events(cls="gold"):
+    """clean_run_events with the request tagged as a traffic class."""
+    events = clean_run_events()
+    events[1] = ev("ARRIVED", rid=0, step=0, src="a", dst="b", demand=4.0,
+                   value=1.0, start=0, deadline=2, scavenger=False,
+                   cls=cls)
+    return events
+
+
+def test_class_tagged_clean_run_has_no_findings():
+    summary = {"payments": 2.0, "delivered": 4.0,
+               "per_class": {"gold": {"delivered": 4.0}}}
+    assert audit_events(classed_run_events(), summary=summary) == []
+
+
+def test_pre_class_trace_skips_class_checks():
+    # No cls on ARRIVED: the class checks must not run at all, so old
+    # traces audit exactly as before the class subsystem existed.
+    findings = audit_events(clean_run_events())
+    assert "class_conservation" not in checks(findings)
+
+
+def test_class_overdelivery_is_flagged_with_its_class():
+    events = classed_run_events()
+    # 2 extra bytes into the class beyond what its requests purchased.
+    events.insert(6, ev("ALLOCATED", rid=0, step=2, bytes=2.0, route=[0],
+                        price=0.7))
+    findings = audit_events(events)
+    assert "class_conservation" in checks(findings)
+    (finding,) = [f for f in findings
+                  if f.check == "class_conservation"]
+    assert finding.cls == "gold"
+    assert "purchased only" in finding.detail
+
+
+def test_per_class_summary_mismatch_is_flagged():
+    summary = {"payments": 2.0, "delivered": 4.0,
+               "per_class": {"gold": {"delivered": 9.0}}}
+    findings = audit_events(classed_run_events(), summary=summary)
+    mismatches = [f for f in findings if f.check == "class_conservation"]
+    assert mismatches and all(f.cls == "gold" for f in mismatches)
+    assert any("per_class[gold] delivered" in f.detail
+               for f in mismatches)
+
+
+def test_guarantee_finding_carries_the_class():
+    events = [e for e in classed_run_events() if e["event"] != "ALLOCATED"]
+    events[-2] = ev("SETTLED", rid=0, delivered=0.0, payment=0.0,
+                    chosen=4.0, guaranteed=4.0, flat_price=None)
+    events[-1] = ev("RUN_ENDED", payments_total=0.0, delivered_total=0.0)
+    # The ledger now shows 0 delivered for gold.
+    summary = {"payments": 0.0, "delivered": 0.0,
+               "per_class": {"gold": {"delivered": 0.0}}}
+    findings = audit_events(events, summary=summary)
+    (miss,) = [f for f in findings if f.check == "guarantee"]
+    assert miss.cls == "gold"
+
+
+def test_real_multiclass_run_audits_clean():
+    from repro.registry import SCENARIOS
+    scenario = SCENARIOS.get("multiclass_medium")(seed=1)
+    collector = InMemoryCollector()
+    with use_tracer(Tracer(sinks=[collector])):
+        result = run_scheme("Pretium", scenario)
+    summary = summarize(result, scenario.cost_model)
+    assert set(summary["per_class"]) == {"interactive", "elastic",
+                                         "background"}
+    findings = audit_events(collector.events, summary=summary)
+    # The only acceptable findings are *waived* guarantee misses on the
+    # preemptible class: SAM may displace background guarantees for
+    # higher-weighted traffic, and the auditor knows that contract.
+    assert unwaived(findings) == []
+    for finding in findings:
+        assert finding.check == "guarantee"
+        assert finding.cls == "background"

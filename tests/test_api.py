@@ -68,7 +68,8 @@ def test_campaign_facade_accepts_preset_dict_and_spec(tmp_path):
     result = campaign("smoke", tmp_path / "preset",
                       options=RunOptions(workers=1))
     assert isinstance(result, repro.CampaignResult)
-    assert result.ok and result.n_cells == 2
+    # 2 tiny cells plus the multiclass/flowlet cell.
+    assert result.ok and result.n_cells == 3
     assert result.sweeps["main"].n_workers == 1  # override beat the spec
     assert result.report_md.exists()
 
@@ -91,3 +92,35 @@ def test_run_with_trace_reports_its_path(tmp_path):
     assert report.trace_path == str(trace)
     assert trace.exists()
     assert audit(trace, summary=report.summary).ok
+
+
+# -- traffic classes and routing through the facade ---------------------------
+
+def test_run_folds_options_classes_into_named_scenarios():
+    report = run("NoPrices", "tiny",
+                 options=RunOptions(classes="qos3"))
+    assert set(report.summary["per_class"]) == \
+        {"interactive", "elastic", "background"}
+    # A built scenario keeps its own (lack of) classes.
+    plain = run("NoPrices", tiny_scenario())
+    assert "per_class" not in plain.summary
+
+
+def test_run_keeps_scenario_declared_classes_over_options():
+    spec = ScenarioSpec.of("tiny", classes="default")
+    report = run("NoPrices", spec, options=RunOptions(classes="qos3"))
+    assert set(report.summary["per_class"]) == {"default"}
+
+
+def test_scenario_coercion_error_names_the_registry():
+    with pytest.raises(TypeError, match="repro.registry.SCENARIOS"):
+        run("NoPrices", 42)
+
+
+def test_sweep_grid_accepts_a_routings_axis(tmp_path):
+    result = sweep({"schemes": ["NoPrices"], "scenarios": ["tiny"],
+                    "seeds": [0], "routings": ["kpaths", "flowlet"]})
+    assert result.ok
+    labels = [cell.label for cell in result.cells]
+    assert any("routing=flowlet" in label for label in labels)
+    assert len(result.cells) == 2

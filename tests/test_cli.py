@@ -340,7 +340,7 @@ def test_campaign_runs_smoke_preset_to_report(tmp_path, capsys):
                  "--workers", "2", "--chunk-size", "1"])
     assert code == 0
     printed = capsys.readouterr().out
-    assert "2 cell(s), 0 failed" in printed
+    assert "3 cell(s), 0 failed" in printed
     assert "peak RSS" in printed
     assert (out_dir / "report.md").exists()
     assert (out_dir / "report.html").exists()
